@@ -1,0 +1,68 @@
+"""E3 -- AES hash-tree vs linear scan for conjunctions of simple conditions (Figure 6).
+
+Claim ([15], used by Section 4): matching the simple-condition part of a
+document against the subscription set through the hash-tree costs roughly
+the same regardless of how many subscriptions are registered, whereas a
+linear scan grows linearly.
+"""
+
+import pytest
+
+from repro.filtering import AESFilter, ConditionRegistry, PreFilter
+
+from benchmarks.conftest import make_alert_items, make_subscription_set
+
+SUBSCRIPTION_COUNTS = [10, 100, 1000, 5000]
+N_ITEMS = 200
+
+
+def build(n_subscriptions):
+    registry = ConditionRegistry()
+    subscriptions = make_subscription_set(n_subscriptions, seed=7)
+    aes = AESFilter(registry)
+    aes.add_subscriptions(subscriptions)
+    prefilter = PreFilter(registry)
+    items = make_alert_items(N_ITEMS, seed=8)
+    satisfied = [prefilter.satisfied_conditions(item) for item in items]
+    return subscriptions, aes, satisfied
+
+
+@pytest.mark.parametrize("n_subscriptions", SUBSCRIPTION_COUNTS)
+def test_aes_hash_tree_matching(benchmark, n_subscriptions):
+    subscriptions, aes, satisfied = build(n_subscriptions)
+
+    def run():
+        total = 0
+        for conditions in satisfied:
+            match = aes.match(conditions)
+            total += len(match.simple_matches) + len(match.active_complex)
+        return total
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["experiment"] = "E3"
+    benchmark.extra_info["strategy"] = "aes-hash-tree"
+    benchmark.extra_info["subscriptions"] = n_subscriptions
+    benchmark.extra_info["matches"] = total
+    benchmark.extra_info["tree_nodes"] = aes.node_count()
+
+
+@pytest.mark.parametrize("n_subscriptions", SUBSCRIPTION_COUNTS)
+def test_linear_scan_matching(benchmark, n_subscriptions):
+    subscriptions, aes, satisfied = build(n_subscriptions)
+    registry = ConditionRegistry()
+    # pre-compute each subscription's condition-id set for a fair linear scan
+    id_sets = [set(sub.condition_ids(registry)) for sub in subscriptions]
+
+    def run():
+        total = 0
+        for conditions in satisfied:
+            satisfied_set = set(conditions)
+            for ids in id_sets:
+                if ids <= satisfied_set:
+                    total += 1
+        return total
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E3"
+    benchmark.extra_info["strategy"] = "linear-scan"
+    benchmark.extra_info["subscriptions"] = n_subscriptions

@@ -1,0 +1,68 @@
+"""E8 -- DHT-backed Stream Definition Database scales with peers and streams (Section 5).
+
+Claim: implementing the Stream Definition Database over a DHT (KadoP) avoids
+a central bottleneck: discovery queries touch O(log n) peers, storage is
+spread over all peers, and the cost stays flat as the number of declared
+streams grows.
+"""
+
+import pytest
+
+from repro.algebra.plan import ALERTER, PlanNode
+from repro.dht import ChordRing
+from repro.dht.kadop import KadopIndex
+from repro.monitor import StreamDefinitionDatabase
+
+PEER_COUNTS = [16, 64, 256, 1024]
+N_STREAMS = 400
+N_QUERIES = 60
+
+
+def build_database(n_peers: int) -> StreamDefinitionDatabase:
+    ring = ChordRing()
+    for index in range(n_peers):
+        ring.join(f"peer{index}.example")
+    db = StreamDefinitionDatabase(KadopIndex(ring))
+    for index in range(N_STREAMS):
+        peer = f"peer{index % n_peers}.example"
+        kind = "inCOM" if index % 2 == 0 else "outCOM"
+        node = PlanNode(ALERTER, {"alerter": kind, "peer": peer, "var": "c"}, placement=peer)
+        db.publish_node(node, peer, f"{kind}-{index}", [])
+    return db
+
+
+@pytest.mark.parametrize("n_peers", PEER_COUNTS)
+def test_discovery_query_cost(benchmark, n_peers):
+    db = build_database(n_peers)
+    ring = db.index.ring
+
+    def run():
+        before_lookups, before_hops = ring.lookup_count, ring.total_hops
+        results = 0
+        for index in range(N_QUERIES):
+            peer = f"peer{index % n_peers}.example"
+            results += len(db.find_alerter_streams(peer, "inCOM"))
+        return results, ring.lookup_count - before_lookups, ring.total_hops - before_hops
+
+    results, lookups, hops = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["peers"] = n_peers
+    benchmark.extra_info["streams"] = N_STREAMS
+    benchmark.extra_info["hops_per_lookup"] = round(hops / max(lookups, 1), 2)
+    benchmark.extra_info["results"] = results
+
+
+@pytest.mark.parametrize("n_peers", [64])
+def test_storage_is_spread_over_peers(benchmark, n_peers):
+    def run():
+        db = build_database(n_peers)
+        return db.index.ring.storage_distribution()
+
+    distribution = benchmark.pedantic(run, rounds=1, iterations=1)
+    occupied = [count for count in distribution.values() if count > 0]
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["peers"] = n_peers
+    benchmark.extra_info["peers_storing_data"] = len(occupied)
+    benchmark.extra_info["max_keys_on_one_peer"] = max(occupied)
+    # no central bottleneck: many peers hold part of the database
+    assert len(occupied) > n_peers // 4

@@ -1,0 +1,61 @@
+"""E11 -- stateful Duplicate-removal and Group operators under load (Sections 2-3).
+
+``return distinct`` relies on Duplicate-removal; the Edos statistics rely on
+Group.  The benchmark measures their per-item cost on duplicate-heavy
+streams and checks the aggregates they produce.
+"""
+
+import pytest
+
+from repro.algebra import DuplicateRemovalOperator, GroupOperator, ValueRef
+from repro.streams import Stream, collect
+from repro.xmlmodel import Element
+
+N_ITEMS = 5000
+DISTINCT_VALUES = [10, 1000]
+
+
+@pytest.mark.parametrize("distinct_values", DISTINCT_VALUES)
+def test_duplicate_removal_throughput(benchmark, distinct_values):
+    items = [
+        Element("alert", {"peer": f"peer{i % distinct_values}", "kind": "download"})
+        for i in range(N_ITEMS)
+    ]
+
+    def run():
+        source = Stream("s")
+        dedup = DuplicateRemovalOperator()
+        dedup.connect(source)
+        out = collect(dedup.output)
+        for item in items:
+            source.emit(item)
+        return len(out)
+
+    distinct = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert distinct == distinct_values
+    benchmark.extra_info["experiment"] = "E11"
+    benchmark.extra_info["operator"] = "duplicate-removal"
+    benchmark.extra_info["items"] = N_ITEMS
+    benchmark.extra_info["distinct"] = distinct
+
+
+def test_group_operator_counts(benchmark):
+    items = [
+        Element("alert", {"mirror": f"mirror{i % 3}.edos.org"}) for i in range(N_ITEMS)
+    ]
+
+    def run():
+        source = Stream("s")
+        group = GroupOperator(key=ValueRef.attribute("item", "mirror"))
+        group.connect(source)
+        for item in items:
+            source.emit(item)
+        source.close()
+        return group.counts
+
+    counts = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sum(counts.values()) == N_ITEMS
+    assert len(counts) == 3
+    benchmark.extra_info["experiment"] = "E11"
+    benchmark.extra_info["operator"] = "group"
+    benchmark.extra_info["groups"] = len(counts)

@@ -1,0 +1,56 @@
+"""E5 -- selection push-down saves communication (Sections 3.3-3.4, Figure 4).
+
+Claim: placing filters next to the alerters ("the selections were pushed as
+much as possible to the proximity of the sources to save on communications")
+transfers far fewer bytes between peers than shipping every alert to the
+join/monitor peer and filtering there.
+"""
+
+import pytest
+
+from repro.workloads import MeteoScenario
+
+N_CALLS = 300
+SLOW_FRACTIONS = [0.05, 0.3]
+
+
+def run_scenario(push_selections: bool, slow_fraction: float):
+    scenario = MeteoScenario(threshold=10.0, slow_fraction=slow_fraction, seed=31)
+    scenario.deploy(push_selections=push_selections, reuse=False)
+    scenario.system.network.stats.reset()  # measure traffic, not deployment
+    scenario.run_traffic(N_CALLS)
+    stats = scenario.system.network.stats
+    return scenario, stats
+
+
+@pytest.mark.parametrize("slow_fraction", SLOW_FRACTIONS)
+@pytest.mark.parametrize("push", [True, False], ids=["pushed", "central"])
+def test_pushdown_communication(benchmark, push, slow_fraction):
+    def run():
+        return run_scenario(push, slow_fraction)
+
+    scenario, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = scenario.expected_incidents(scenario.calls)
+    assert len(scenario.incidents()) == len(expected)
+    benchmark.extra_info["experiment"] = "E5"
+    benchmark.extra_info["strategy"] = "pushed" if push else "central"
+    benchmark.extra_info["slow_fraction"] = slow_fraction
+    benchmark.extra_info["bytes_transferred"] = stats.total_bytes
+    benchmark.extra_info["messages"] = stats.total_messages
+    benchmark.extra_info["incidents"] = len(scenario.incidents())
+
+
+def test_pushdown_reduces_bytes(benchmark):
+    """The headline comparison: pushed plans ship fewer bytes than central ones."""
+
+    def run():
+        _, pushed = run_scenario(True, 0.1)
+        _, central = run_scenario(False, 0.1)
+        return pushed.total_bytes, central.total_bytes
+
+    pushed_bytes, central_bytes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert pushed_bytes < central_bytes
+    benchmark.extra_info["experiment"] = "E5"
+    benchmark.extra_info["pushed_bytes"] = pushed_bytes
+    benchmark.extra_info["central_bytes"] = central_bytes
+    benchmark.extra_info["savings_factor"] = round(central_bytes / max(pushed_bytes, 1), 2)

@@ -1,0 +1,72 @@
+"""E7 -- stream reuse reduces deployed operators and network traffic (Section 5, Figure 7).
+
+Claim: when overlapping subscriptions arrive, detecting that existing streams
+(including joined streams) already compute parts of the new plan saves CPU
+(fewer operators) and network traffic, at the cost of a few Stream Definition
+Database queries per subscription.
+"""
+
+import pytest
+
+from repro.workloads import MeteoScenario
+
+SUBSCRIPTION_COUNTS = [2, 10, 25]
+N_CALLS = 150
+
+
+def run_overlapping(n_subscriptions: int, reuse: bool):
+    scenario = MeteoScenario(threshold=10.0, slow_fraction=0.2, seed=41)
+    tasks = [scenario.deploy(reuse=reuse)]
+    for index in range(1, n_subscriptions):
+        tasks.append(
+            scenario.monitor.subscribe(
+                scenario.subscription_text(), sub_id=f"meteo-qos-{index}", reuse=reuse
+            )
+        )
+    scenario.system.run()
+    deployment_messages = scenario.system.network.stats.total_messages
+    scenario.system.network.stats.reset()
+    scenario.run_traffic(N_CALLS)
+    return scenario, tasks, deployment_messages
+
+
+@pytest.mark.parametrize("n_subscriptions", SUBSCRIPTION_COUNTS)
+@pytest.mark.parametrize("reuse", [True, False], ids=["reuse", "no-reuse"])
+def test_overlapping_subscriptions(benchmark, n_subscriptions, reuse):
+    def run():
+        return run_overlapping(n_subscriptions, reuse)
+
+    scenario, tasks, deployment_messages = benchmark.pedantic(run, rounds=1, iterations=1)
+    # every subscription keeps producing the same incidents
+    reference = len(tasks[0].results)
+    assert reference > 0
+    assert all(len(task.results) == reference for task in tasks)
+
+    total_operators = sum(task.operator_count for task in tasks)
+    reused_nodes = sum(
+        task.reuse_report.nodes_reused for task in tasks if task.reuse_report is not None
+    )
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["strategy"] = "reuse" if reuse else "no-reuse"
+    benchmark.extra_info["subscriptions"] = n_subscriptions
+    benchmark.extra_info["operators_deployed"] = total_operators
+    benchmark.extra_info["nodes_reused"] = reused_nodes
+    benchmark.extra_info["runtime_messages"] = scenario.system.network.stats.total_messages
+    benchmark.extra_info["runtime_bytes"] = scenario.system.network.stats.total_bytes
+    benchmark.extra_info["deployment_messages"] = deployment_messages
+
+
+def test_reuse_saves_operators_and_traffic(benchmark):
+    def run():
+        _, with_reuse, _ = run_overlapping(10, True)
+        _, without_reuse, _ = run_overlapping(10, False)
+        return with_reuse, without_reuse
+
+    with_reuse, without_reuse = benchmark.pedantic(run, rounds=1, iterations=1)
+    ops_with = sum(task.operator_count for task in with_reuse)
+    ops_without = sum(task.operator_count for task in without_reuse)
+    assert ops_with < ops_without
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["operators_with_reuse"] = ops_with
+    benchmark.extra_info["operators_without_reuse"] = ops_without
+    benchmark.extra_info["savings_factor"] = round(ops_without / max(ops_with, 1), 2)

@@ -1,0 +1,94 @@
+"""E4 -- shared-prefix NFA (YFilterSigma) vs per-query path matching (Section 4, [8]).
+
+Claim: grouping path queries by their common prefixes in one NFA makes the
+per-document matching cost grow sub-linearly with the number of registered
+queries, unlike evaluating every XPath separately.
+"""
+
+import random
+
+import pytest
+
+from repro.filtering import YFilterSigma
+from repro.xmlmodel import XPath
+
+from benchmarks.conftest import make_alert_items
+
+QUERY_COUNTS = [10, 100, 500, 2000]
+N_ITEMS = 100
+
+_TAGS = ["Envelope", "Header", "Body", "param", "GetTemperature", "error", "alert"]
+
+
+def make_path_queries(n_queries: int, seed: int = 0) -> list[str]:
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n_queries):
+        depth = rng.randint(1, 4)
+        steps = [rng.choice(_TAGS) for _ in range(depth)]
+        separators = [rng.choice(["/", "//"]) for _ in range(depth)]
+        queries.append("".join(sep + step for sep, step in zip(separators, steps)))
+    return queries
+
+
+@pytest.mark.parametrize("n_queries", QUERY_COUNTS)
+def test_yfilter_nfa_matching(benchmark, n_queries):
+    items = make_alert_items(N_ITEMS, seed=5)
+    nfa = YFilterSigma()
+    for index, query in enumerate(make_path_queries(n_queries, seed=6)):
+        nfa.add_query(f"q{index}", query)
+
+    def run():
+        total = 0
+        for item in items:
+            total += len(nfa.match(item))
+        return total
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["experiment"] = "E4"
+    benchmark.extra_info["strategy"] = "yfilter-nfa"
+    benchmark.extra_info["queries"] = n_queries
+    benchmark.extra_info["matches"] = total
+    benchmark.extra_info["nfa_states"] = nfa.states_created
+
+
+@pytest.mark.parametrize("n_queries", QUERY_COUNTS)
+def test_per_query_xpath_matching(benchmark, n_queries):
+    items = make_alert_items(N_ITEMS, seed=5)
+    compiled = [XPath.compile(query) for query in make_path_queries(n_queries, seed=6)]
+
+    def run():
+        total = 0
+        for item in items:
+            for query in compiled:
+                if query.matches(item):
+                    total += 1
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E4"
+    benchmark.extra_info["strategy"] = "per-query-xpath"
+    benchmark.extra_info["queries"] = n_queries
+    benchmark.extra_info["matches"] = total
+
+
+def test_nfa_and_xpath_agree(benchmark):
+    items = make_alert_items(30, seed=9)
+    queries = make_path_queries(100, seed=10)
+    nfa = YFilterSigma()
+    compiled = {}
+    for index, query in enumerate(queries):
+        nfa.add_query(f"q{index}", query)
+        compiled[f"q{index}"] = XPath.compile(query)
+
+    def run():
+        mismatches = 0
+        for item in items:
+            nfa_result = nfa.match(item)
+            xpath_result = {qid for qid, query in compiled.items() if query.matches(item)}
+            if nfa_result != xpath_result:
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert mismatches == 0

@@ -1,0 +1,65 @@
+"""Shared workload builders for the benchmark suite.
+
+Each benchmark module reproduces one experiment of EXPERIMENTS.md (E1-E11).
+Benchmarks report wall-clock time through pytest-benchmark and attach the
+paper-relevant counters (bytes transferred, service calls avoided, operators
+deployed, DHT hops, ...) as ``benchmark.extra_info`` so that
+``pytest benchmarks/ --benchmark-only`` regenerates every figure of the
+reproduction in one run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.filtering import FilterSubscription, SimpleCondition
+from repro.workloads import SoapTrafficGenerator
+from repro.xmlmodel import Element, XPath, parse_xml
+
+
+def make_alert_items(n_items: int, seed: int = 0) -> list[Element]:
+    """A stream of WS alerts shaped like the meteo workload's."""
+    generator = SoapTrafficGenerator(
+        clients=["a.com", "b.com", "c.com"],
+        servers=["meteo.com", "tele.com"],
+        methods=["GetTemperature", "GetHumidity", "GetForecast", "Invoice"],
+        slow_fraction=0.2,
+        seed=seed,
+    )
+    from repro.alerters.ws import soap_alert
+
+    return [soap_alert(call, "in") for call in generator.run(n_items)]
+
+
+def make_subscription_set(n_subscriptions: int, seed: int = 0) -> list[FilterSubscription]:
+    """Subscriptions mixing simple-only and simple+complex conditions.
+
+    The condition pool is deliberately small so that conditions are shared
+    between subscriptions, as the AES algorithm expects in practice.
+    """
+    rng = random.Random(seed)
+    methods = ["GetTemperature", "GetHumidity", "GetForecast", "Invoice"]
+    callees = ["meteo.com", "tele.com"]
+    callers = ["a.com", "b.com", "c.com"]
+    paths = ["//Body", "//Envelope/Body", "//param", "//error", "//Body//param"]
+    subscriptions = []
+    for index in range(n_subscriptions):
+        simple = [SimpleCondition("callMethod", "=", rng.choice(methods))]
+        if rng.random() < 0.7:
+            simple.append(SimpleCondition("callee", "=", rng.choice(callees)))
+        if rng.random() < 0.4:
+            simple.append(SimpleCondition("caller", "=", rng.choice(callers)))
+        complex_queries = []
+        if rng.random() < 0.5:
+            complex_queries.append(XPath.compile(rng.choice(paths)))
+        subscriptions.append(
+            FilterSubscription(f"q{index}", simple, complex_queries)
+        )
+    return subscriptions
+
+
+@pytest.fixture(scope="module")
+def alert_items() -> list[Element]:
+    return make_alert_items(300, seed=42)

@@ -1,0 +1,74 @@
+"""Web surveillance: monitor RSS feeds and Web pages of a community portal.
+
+Two monitored sites publish an RSS feed and a set of Web pages.  The monitor
+subscribes to both kinds of changes; additions to the feed are mailed to the
+operations team and page changes are republished as an RSS feed (the
+publication forms of Section 3.1).
+
+Run with:  python examples/rss_monitoring.py
+"""
+
+from repro.monitor import P2PMSystem
+from repro.workloads import RSSFeedSimulator, WebPageSimulator
+from repro.xmlmodel import pretty_xml
+
+
+def main() -> None:
+    system = P2PMSystem(seed=3)
+    portal = system.add_peer("portal.community.org")
+    wiki = system.add_peer("wiki.community.org")
+    monitor = system.add_peer("watchdog.community.org")
+
+    # monitored content
+    feed = RSSFeedSimulator("http://portal.community.org/rss", initial_entries=6, seed=3)
+    portal.register_feed(feed.feed_url, feed.snapshot)
+    pages = WebPageSimulator("wiki.community.org", n_pages=4, change_rate=0.5, seed=3)
+    for url in pages.urls:
+        wiki.register_feed(url, pages.source_for(url))
+
+    # subscription 1: new portal entries, mailed to the team
+    news = monitor.subscribe(
+        """
+        for $x in rssFeed(<p>portal.community.org</p>)
+        where $x.kind = "add"
+        return <announcement>{$x.entry}</announcement>
+        by email "team@community.org";
+        """,
+        sub_id="portal-news",
+    )
+    # subscription 2: any change on the wiki pages, republished as RSS
+    edits = monitor.subscribe(
+        """
+        for $p in webPage(<p>wiki.community.org</p>)
+        return <page-changed crawl="{$p.crawl}">{$p.url}</page-changed>
+        by rss "wikiChanges";
+        """,
+        sub_id="wiki-edits",
+    )
+    system.run()
+
+    # drive the monitored systems for a few rounds
+    rss_alerter = portal.alerter("rssFeed")
+    page_alerter = wiki.alerter("webpage")  # keyword-like names are lower-cased
+    rss_alerter.poll()
+    page_alerter.crawl()
+    for _ in range(6):
+        feed.tick()
+        pages.tick()
+        rss_alerter.poll()
+        page_alerter.crawl()
+    system.run()
+
+    print(f"Portal additions mailed: {len(news.publisher.outbox)}")
+    for email in news.publisher.outbox[:3]:
+        print(f"  to {email.recipient}: {email.subject}")
+
+    print(f"\nWiki changes observed: {len(edits.results)}")
+    print("Latest entries of the generated RSS feed:")
+    generated = edits.publisher.feed()
+    for item in generated.find("channel").findall("item")[:3]:
+        print("  " + pretty_xml(item).strip().replace("\n", " ")[:110])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 517 editable installs (`pip install -e .` with build isolation) cannot
+build a wheel.  This setup.py lets `pip install -e . --no-use-pep517
+--no-build-isolation` (and plain `python setup.py develop`) work offline.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

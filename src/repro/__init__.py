@@ -1,0 +1,22 @@
+"""P2P Monitor (P2PM) -- a reproduction of Abiteboul & Marinoiu,
+"Distributed Monitoring of Peer to Peer Systems" (WIDM 2007).
+
+The package is organised bottom-up:
+
+* :mod:`repro.xmlmodel` -- XML trees, parsing, XPath subset, ActiveXML.
+* :mod:`repro.streams` -- push-based streams of XML trees.
+* :mod:`repro.net` -- deterministic simulated P2P network, peers, channels.
+* :mod:`repro.dht` -- Chord-style DHT and the KadoP-like XML index.
+* :mod:`repro.filtering` -- the two-stage Filter (preFilter, AES, YFilter).
+* :mod:`repro.algebra` -- the ActiveXML stream algebra and its operators.
+* :mod:`repro.p2pml` -- the P2PML subscription language.
+* :mod:`repro.alerters`, :mod:`repro.publishers` -- stream sources and sinks.
+* :mod:`repro.monitor` -- subscription manager, optimiser, placement,
+  stream reuse, deployment; the :class:`repro.monitor.P2PMPeer` facade.
+* :mod:`repro.workloads` -- synthetic workloads (SOAP traffic, RSS feeds,
+  Web pages, the Edos content-sharing network, the meteo QoS scenario).
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

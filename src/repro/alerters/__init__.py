@@ -1,0 +1,42 @@
+"""Alerters: 0-ary operators that observe external systems and produce streams.
+
+"Each alerter is specialized in detecting particular events in some systems
+that are external to P2PM" (Section 3.1).  Every alerter owns an output
+:class:`~repro.streams.Stream` of XML alert items whose *root attributes*
+carry the generic information (identifiers, timestamps, peers) that the
+preFilter tests, and whose sub-elements carry the richer payload (SOAP
+envelope, page delta, ...).
+"""
+
+from repro.alerters.base import Alerter
+from repro.alerters.ws import WSAlerter, soap_alert
+from repro.alerters.rss import RSSFeedAlerter
+from repro.alerters.webpage import WebPageAlerter
+from repro.alerters.axml_repo import AXMLRepository, AXMLRepositoryAlerter
+from repro.alerters.dht_membership import AreRegisteredAlerter
+
+#: Alerter kinds understood by the deployment layer, keyed by the function
+#: name used in P2PML FOR clauses.
+ALERTER_KINDS = {
+    "inCOM": ("ws", {"direction": "in"}),
+    "outCOM": ("ws", {"direction": "out"}),
+    "rssFeed": ("rss", {}),
+    "rss": ("rss", {}),
+    "webPage": ("webpage", {}),
+    # the P2PML lexer normalises keyword-like alerter names to lower case
+    "webpage": ("webpage", {}),
+    "axmlRepo": ("axml", {}),
+    "areRegistered": ("membership", {}),
+}
+
+__all__ = [
+    "Alerter",
+    "WSAlerter",
+    "soap_alert",
+    "RSSFeedAlerter",
+    "WebPageAlerter",
+    "AXMLRepository",
+    "AXMLRepositoryAlerter",
+    "AreRegisteredAlerter",
+    "ALERTER_KINDS",
+]

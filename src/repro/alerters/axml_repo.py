@@ -1,0 +1,72 @@
+"""ActiveXML repository alerter: detects updates to a peer's document repository.
+
+"An ActiveXML alerter detects updates to the ActiveXML peer's repository."
+The repository here is a small in-memory document store; every insert,
+replace and delete produces an alert carrying the document name, the kind of
+update and (for inserts/replacements) the new content.
+"""
+
+from __future__ import annotations
+
+from repro.alerters.base import Alerter
+from repro.xmlmodel.tree import Element
+
+
+class AXMLRepository:
+    """A peer's (Active)XML document repository with update notification."""
+
+    def __init__(self, peer_id: str) -> None:
+        self.peer_id = peer_id
+        self._documents: dict[str, Element] = {}
+        self._listeners: list["AXMLRepositoryAlerter"] = []
+
+    # -- documents ------------------------------------------------------------
+
+    def get(self, name: str) -> Element | None:
+        return self._documents.get(name)
+
+    @property
+    def document_names(self) -> list[str]:
+        return sorted(self._documents)
+
+    def store(self, name: str, document: Element) -> None:
+        """Insert or replace a document; notifies the attached alerters."""
+        kind = "replace" if name in self._documents else "insert"
+        self._documents[name] = document.copy()
+        self._notify(kind, name, document)
+
+    def delete(self, name: str) -> bool:
+        if name not in self._documents:
+            return False
+        del self._documents[name]
+        self._notify("delete", name, None)
+        return True
+
+    # -- notification ----------------------------------------------------------------
+
+    def attach(self, alerter: "AXMLRepositoryAlerter") -> None:
+        self._listeners.append(alerter)
+
+    def _notify(self, kind: str, name: str, document: Element | None) -> None:
+        for listener in self._listeners:
+            listener.on_update(kind, name, document)
+
+
+class AXMLRepositoryAlerter(Alerter):
+    """Emits one alert per repository update."""
+
+    kind = "axml"
+
+    def __init__(self, peer_id: str, repository: AXMLRepository, stream=None) -> None:
+        super().__init__(peer_id, stream)
+        self.repository = repository
+        repository.attach(self)
+
+    def on_update(self, kind: str, name: str, document: Element | None) -> None:
+        alert = Element(
+            "alert",
+            {"kind": kind, "document": name, "peer": self.peer_id},
+        )
+        if document is not None:
+            alert.append(Element("content", children=[document.copy()]))
+        self.emit_alert(alert)

@@ -1,0 +1,38 @@
+"""areRegistered alerter: the stream of peers joining or leaving a DHT.
+
+Section 2 uses it to drive other alerters dynamically::
+
+    for $j in areRegistered(<p>s.com/dht</p>)
+    for $c in inCOM($j) ...
+
+The alerter subscribes to the membership events of a
+:class:`~repro.dht.KadopIndex` (or any object exposing
+``subscribe_membership``) and emits ``<p-join>``/``<p-leave>`` items wrapped
+in a root carrying the peer id as an attribute so that simple conditions can
+select on it.
+"""
+
+from __future__ import annotations
+
+from repro.alerters.base import Alerter
+from repro.dht.kadop import KadopIndex, MembershipEvent
+from repro.xmlmodel.tree import Element
+
+
+class AreRegisteredAlerter(Alerter):
+    """Emits one alert per join/leave event of the watched DHT."""
+
+    kind = "membership"
+
+    def __init__(self, peer_id: str, index: KadopIndex, stream=None) -> None:
+        super().__init__(peer_id, stream)
+        self.index = index
+        index.subscribe_membership(self.on_event)
+
+    def on_event(self, event: MembershipEvent) -> None:
+        alert = Element(
+            "alert",
+            {"kind": event.kind, "peer": event.peer_id, "dht": self.peer_id},
+        )
+        alert.append(event.to_element())
+        self.emit_alert(alert)

@@ -1,0 +1,75 @@
+"""RSS Feed Alerter: detects changes in an RSS feed by comparing snapshots.
+
+"With RSS, the alerts have more semantics than with arbitrary XML: e.g.,
+add, remove and modify entry."  One alert is emitted per changed entry, with
+the change kind in the root attributes so that simple conditions can select
+on it (e.g. ``$x.kind = "add"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.alerters.base import Alerter
+from repro.xmlmodel.diff import diff_trees
+from repro.xmlmodel.tree import Element
+
+#: A feed source: a callable returning the current snapshot (an ``rss`` or
+#: ``channel`` element whose children are the feed items).
+FeedSource = Callable[[], Element]
+
+
+class RSSFeedAlerter(Alerter):
+    """Polls an RSS feed and emits one alert per added/removed/modified entry."""
+
+    kind = "rss"
+
+    def __init__(self, peer_id: str, feed_url: str, source: FeedSource, stream=None) -> None:
+        super().__init__(peer_id, stream)
+        self.feed_url = feed_url
+        self._source = source
+        self._last_snapshot: Element | None = None
+        self.polls = 0
+
+    def poll(self) -> int:
+        """Fetch the current snapshot, diff it, emit alerts.  Returns #alerts."""
+        self.polls += 1
+        snapshot = self._channel_of(self._source())
+        produced = 0
+        if self._last_snapshot is not None:
+            delta = diff_trees(self._last_snapshot, snapshot)
+            for entry in delta.added:
+                self._emit("add", entry)
+                produced += 1
+            for entry in delta.removed:
+                self._emit("remove", entry)
+                produced += 1
+            for old, new in delta.modified:
+                self._emit("modify", new, old)
+                produced += 1
+        self._last_snapshot = snapshot
+        return produced
+
+    def _emit(self, kind: str, entry: Element, previous: Element | None = None) -> None:
+        alert = Element(
+            "alert",
+            {
+                "kind": kind,
+                "feed": self.feed_url,
+                "peer": self.peer_id,
+                "entry": entry.child_text("guid") or entry.child_text("title") or "",
+            },
+        )
+        alert.append(Element("entry", children=[entry.copy()]))
+        if previous is not None:
+            alert.append(Element("previous", children=[previous.copy()]))
+        self.emit_alert(alert)
+
+    @staticmethod
+    def _channel_of(snapshot: Element) -> Element:
+        """Accept either a whole ``<rss>`` document or its ``<channel>``."""
+        if snapshot.tag == "rss":
+            channel = snapshot.find("channel")
+            if channel is not None:
+                return channel.copy()
+        return snapshot.copy()

@@ -1,0 +1,295 @@
+"""Runtime stream processors: Filter, Restructure, Union, Join, Duplicate-removal, Group.
+
+Operators are push-based: they subscribe to their input streams and emit to
+an output :class:`~repro.streams.Stream`.  Stateless operators (Filter,
+Restructure, Union) keep no history; stateful ones (Join, Duplicate-removal,
+Group) maintain the state described in Section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.algebra.template import (
+    Binding,
+    RestructureTemplate,
+    ValueRef,
+    get_binding,
+    make_tuple_item,
+)
+from repro.filtering.conditions import FilterSubscription
+from repro.filtering.filter import FilterOperator
+from repro.streams.item import is_eos
+from repro.streams.stream import Stream
+from repro.xmlmodel.axml import ServiceRegistry
+from repro.xmlmodel.tree import Element
+
+
+class Operator:
+    """Base class: one or more input streams, one output stream."""
+
+    #: Human-readable operator name, used in stream descriptions (Section 5).
+    name = "operator"
+    #: Stateless operators can always be shared / reused without history concerns.
+    stateless = True
+
+    def __init__(self, output: Stream | None = None) -> None:
+        self.output = output if output is not None else Stream(f"{self.name}-out")
+        self.inputs: list[Stream] = []
+        self._open_inputs = 0
+        self.items_in = 0
+        self.items_out = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def connect(self, stream: Stream) -> "Operator":
+        """Attach ``stream`` as the next input; returns self for chaining."""
+        index = len(self.inputs)
+        self.inputs.append(stream)
+        self._open_inputs += 1
+        stream.subscribe(lambda item, i=index: self._receive(i, item))
+        return self
+
+    def _receive(self, index: int, item: object) -> None:
+        if is_eos(item):
+            self._open_inputs -= 1
+            if self._open_inputs <= 0:
+                self.on_close()
+                self.output.close()
+            return
+        assert isinstance(item, Element)
+        self.items_in += 1
+        self.on_item(index, item)
+
+    def emit(self, item: Element) -> None:
+        self.items_out += 1
+        self.output.emit(item)
+
+    # -- to override ------------------------------------------------------------
+
+    def on_item(self, index: int, item: Element) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_close(self) -> None:
+        """Called when every input reached EOS, before the output is closed."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(in={self.items_in}, out={self.items_out}, "
+            f"inputs={len(self.inputs)})"
+        )
+
+
+class FilterProcessor(Operator):
+    """σ -- forwards the items that match a single subscription's conditions.
+
+    Internally this reuses the two-stage :class:`FilterOperator` with exactly
+    one registered subscription, so the performance characteristics (and the
+    ActiveXML laziness) are identical to the shared filter of Section 4.
+    """
+
+    name = "Filter"
+    stateless = True
+
+    def __init__(
+        self,
+        subscription: FilterSubscription,
+        output: Stream | None = None,
+        service_registry: ServiceRegistry | None = None,
+    ) -> None:
+        super().__init__(output)
+        self.subscription = subscription
+        self._filter = FilterOperator([subscription], service_registry=service_registry)
+
+    def on_item(self, index: int, item: Element) -> None:
+        if self._filter.process(item).matched:
+            self.emit(item)
+
+
+class RestructureOperator(Operator):
+    """Π -- applies a template to each (tuple) item to build the output tree."""
+
+    name = "Restructure"
+    stateless = True
+
+    def __init__(
+        self,
+        template: RestructureTemplate,
+        default_var: str | None = None,
+        output: Stream | None = None,
+    ) -> None:
+        super().__init__(output)
+        self.template = template
+        self.default_var = default_var
+
+    def on_item(self, index: int, item: Element) -> None:
+        binding = get_binding(item, self.default_var)
+        self.emit(self.template.instantiate(binding))
+
+
+class UnionOperator(Operator):
+    """∪ -- merges several input streams into one output stream."""
+
+    name = "Union"
+    stateless = True
+
+    def on_item(self, index: int, item: Element) -> None:
+        self.emit(item)
+
+
+class JoinOperator(Operator):
+    """⋈ -- joins two streams on an equality predicate over extracted values.
+
+    "For each new tree t in one of the input streams, the history of the
+    other stream is searched for a tree t' so that (t, t') matches the join
+    predicate.  An index over that history is used to speed up the search."
+    (Section 3.1)
+
+    The output items are binding tuples pairing ``left_var`` and ``right_var``
+    (bindings of already-joined inputs are merged in), so a downstream
+    Restructure can refer to both sides.
+    """
+
+    name = "Join"
+    stateless = False
+
+    def __init__(
+        self,
+        left_var: str,
+        right_var: str,
+        predicate: Sequence[tuple[ValueRef, ValueRef]],
+        output: Stream | None = None,
+        window: int | None = None,
+    ) -> None:
+        super().__init__(output)
+        if not predicate:
+            raise ValueError("a join needs at least one equality in its predicate")
+        self.left_var = left_var
+        self.right_var = right_var
+        self.predicate = list(predicate)
+        self.window = window
+        # history index: join key -> items seen on that side
+        self._index: list[dict[tuple, list[Element]]] = [{}, {}]
+        self._arrival: list[list[tuple]] = [[], []]  # keys in arrival order, per side
+        self.index_probes = 0
+
+    def _key(self, side: int, item: Element) -> tuple | None:
+        var = self.left_var if side == 0 else self.right_var
+        binding = get_binding(item, var)
+        values = []
+        for left_ref, right_ref in self.predicate:
+            ref = left_ref if side == 0 else right_ref
+            value = ref.value(binding)
+            if value is None:
+                return None
+            values.append(value)
+        return tuple(values)
+
+    def on_item(self, index: int, item: Element) -> None:
+        if index not in (0, 1):
+            raise ValueError("JoinOperator has exactly two inputs")
+        key = self._key(index, item)
+        if key is None:
+            return
+        self._store(index, key, item)
+        other = 1 - index
+        self.index_probes += 1
+        for match in self._index[other].get(key, ()):  # indexed history search
+            left_item, right_item = (item, match) if index == 0 else (match, item)
+            binding: Binding = get_binding(left_item, self.left_var)
+            binding.update(get_binding(right_item, self.right_var))
+            self.emit(make_tuple_item(binding))
+
+    def _store(self, side: int, key: tuple, item: Element) -> None:
+        self._index[side].setdefault(key, []).append(item)
+        self._arrival[side].append(key)
+        if self.window is not None and len(self._arrival[side]) > self.window:
+            oldest_key = self._arrival[side].pop(0)
+            bucket = self._index[side].get(oldest_key)
+            if bucket:
+                bucket.pop(0)
+                if not bucket:
+                    del self._index[side][oldest_key]
+
+    def history_size(self, side: int) -> int:
+        return sum(len(bucket) for bucket in self._index[side].values())
+
+
+class DuplicateRemovalOperator(Operator):
+    """Forwards each distinct item once, according to a duplicate criterion."""
+
+    name = "DuplicateRemoval"
+    stateless = False
+
+    def __init__(
+        self,
+        criterion: Callable[[Element], object] | None = None,
+        output: Stream | None = None,
+    ) -> None:
+        super().__init__(output)
+        self._criterion = criterion if criterion is not None else _structural_criterion
+        self._seen: set[object] = set()
+
+    def on_item(self, index: int, item: Element) -> None:
+        key = self._criterion(item)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.emit(item)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._seen)
+
+
+def _structural_criterion(item: Element) -> object:
+    return item.structural_key()
+
+
+class GroupOperator(Operator):
+    """Groups items by a key and periodically emits per-group statistics.
+
+    Every ``every`` input items (default: on close only), the operator emits
+    a ``<groups>`` element with one ``<group key=... count=...>`` child per
+    key seen so far.  This is the aggregation substrate used by the Edos
+    statistics scenarios.
+    """
+
+    name = "Group"
+    stateless = False
+
+    def __init__(
+        self,
+        key: ValueRef | Callable[[Element], str | None],
+        every: int | None = None,
+        output: Stream | None = None,
+        default_var: str | None = None,
+    ) -> None:
+        super().__init__(output)
+        self._key = key
+        self._every = every
+        self._default_var = default_var
+        self.counts: dict[str, int] = {}
+
+    def _key_of(self, item: Element) -> str | None:
+        if callable(self._key):
+            return self._key(item)
+        return self._key.value(get_binding(item, self._default_var))
+
+    def on_item(self, index: int, item: Element) -> None:
+        key = self._key_of(item)
+        if key is None:
+            key = "(none)"
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if self._every is not None and self.items_in % self._every == 0:
+            self.emit(self.snapshot())
+
+    def on_close(self) -> None:
+        if self.counts:
+            self.emit(self.snapshot())
+
+    def snapshot(self) -> Element:
+        groups = Element("groups", {"total": sum(self.counts.values())})
+        for key in sorted(self.counts):
+            groups.append(Element("group", {"key": key, "count": self.counts[key]}))
+        return groups

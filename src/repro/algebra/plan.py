@@ -1,0 +1,149 @@
+"""Monitoring plans: the operator DAG produced by compiling a subscription.
+
+A plan is a tree of :class:`PlanNode` objects.  Leaves are alerters (stream
+sources) or references to existing streams (after reuse); inner nodes are
+stream processors; the root is normally a publisher.  Each node carries a
+``placement`` -- the peer that will run it -- which is ``None`` (the paper's
+``@any``) until the placement phase assigns a concrete peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+# Node kinds
+ALERTER = "alerter"
+EXISTING = "existing"  # reuse of an already published stream
+FILTER = "filter"
+UNION = "union"
+JOIN = "join"
+RESTRUCTURE = "restructure"
+DISTINCT = "distinct"
+GROUP = "group"
+PUBLISH = "publish"
+
+KINDS = (ALERTER, EXISTING, FILTER, UNION, JOIN, RESTRUCTURE, DISTINCT, GROUP, PUBLISH)
+
+
+@dataclass
+class PlanNode:
+    """One operator of a monitoring plan."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    children: list["PlanNode"] = field(default_factory=list)
+    placement: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown plan node kind {self.kind!r}")
+
+    # -- navigation ----------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator["PlanNode"]:
+        """Depth-first, post-order iteration (children before parents)."""
+        for child in self.children:
+            yield from child.iter_nodes()
+        yield self
+
+    def leaves(self) -> list["PlanNode"]:
+        return [node for node in self.iter_nodes() if not node.children]
+
+    def count(self, kind: str | None = None) -> int:
+        return sum(1 for node in self.iter_nodes() if kind is None or node.kind == kind)
+
+    def find_all(self, kind: str) -> list["PlanNode"]:
+        return [node for node in self.iter_nodes() if node.kind == kind]
+
+    # -- copying ----------------------------------------------------------------
+
+    def copy(self) -> "PlanNode":
+        return PlanNode(
+            self.kind,
+            dict(self.params),
+            [child.copy() for child in self.children],
+            self.placement,
+        )
+
+    # -- placement ----------------------------------------------------------------
+
+    @property
+    def is_placed(self) -> bool:
+        return self.placement is not None
+
+    def unplaced_nodes(self) -> list["PlanNode"]:
+        return [node for node in self.iter_nodes() if not node.is_placed]
+
+    # -- display --------------------------------------------------------------------
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable multi-line description, e.g. for logging and examples."""
+        pad = "  " * indent
+        where = f"@{self.placement}" if self.placement else "@any"
+        details = self._param_summary()
+        lines = [f"{pad}{self.kind}{where}{details}"]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _param_summary(self) -> str:
+        interesting = {}
+        for key in ("alerter", "peer", "var", "channel", "mode", "left_var", "right_var"):
+            if key in self.params:
+                interesting[key] = self.params[key]
+        if "subscription" in self.params:
+            subscription = self.params["subscription"]
+            interesting["conditions"] = len(subscription.simple) + len(
+                subscription.complex_queries
+            )
+        if not interesting:
+            return ""
+        inner = ", ".join(f"{key}={value}" for key, value in interesting.items())
+        return f"({inner})"
+
+    def __repr__(self) -> str:
+        return f"PlanNode({self.kind!r}, placement={self.placement!r}, children={len(self.children)})"
+
+
+def plan_signature(node: PlanNode) -> str:
+    """Canonical signature of a (sub)plan, used for reuse and equivalence checks.
+
+    Two sub-plans with equal signatures compute the same stream (same operator,
+    same parameters, same operand signatures).  Signatures are built over the
+    *original* source streams, never replicas, matching Section 5.
+    """
+    children = ",".join(plan_signature(child) for child in node.children)
+    detail = _signature_detail(node)
+    return f"{node.kind}[{detail}]({children})"
+
+
+def _signature_detail(node: PlanNode) -> str:
+    params = node.params
+    if node.kind == ALERTER:
+        return f"{params.get('alerter', '?')}@{params.get('peer', '?')}"
+    if node.kind == EXISTING:
+        return f"{params.get('stream_id', '?')}@{params.get('peer', '?')}"
+    if node.kind == FILTER:
+        subscription = params.get("subscription")
+        if subscription is None:
+            return ""
+        simple = ";".join(sorted(str(condition) for condition in subscription.simple))
+        complex_parts = ";".join(
+            sorted(query.expression for query in subscription.complex_queries)
+        )
+        return f"{simple}|{complex_parts}"
+    if node.kind == JOIN:
+        predicate = params.get("predicate", [])
+        pairs = ";".join(sorted(f"{left}={right}" for left, right in predicate))
+        return pairs
+    if node.kind == RESTRUCTURE:
+        template = params.get("template")
+        return template.skeleton.tag if template is not None else ""
+    if node.kind == DISTINCT:
+        return str(params.get("criterion", "structural"))
+    if node.kind == GROUP:
+        return str(params.get("key", ""))
+    if node.kind == PUBLISH:
+        return f"{params.get('mode', 'channel')}:{params.get('target', '')}"
+    return ""

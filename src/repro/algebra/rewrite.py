@@ -1,0 +1,142 @@
+"""Rewriting rules over algebraic expressions and plans.
+
+Two kinds of rewriting live here:
+
+* the paper's *service invocation* rules (Section 3.3) over the symbolic
+  algebra: local invocation starts the service in place, external invocation
+  splits the expression into concurrent per-peer actions connected by a
+  ``send``/``receive`` pair (this is exactly the plan-distribution step
+  illustrated at the end of Section 3.4);
+* *selection push-down* over operator plans: filters are moved through
+  unions and towards the side of a join they refer to, "to the proximity of
+  the sources to save on communications".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expr import Eval, Expr, Receive, Send, Service, Var
+from repro.algebra.plan import FILTER, JOIN, UNION, PlanNode
+
+
+# --------------------------------------------------------------------------- #
+# Service invocation rules (symbolic algebra)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class PeerAction:
+    """One concurrent action: ``peer`` evaluates ``expr`` (joined by '&')."""
+
+    peer: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"@{self.peer}: {self.expr}"
+
+
+def rewrite_local_invocation(expression: Eval) -> Expr:
+    """Rule 1: ``eval@p(s@p(..., ti, ...)) -> °s@p(..., eval@p(ti), ...)``.
+
+    The service starts executing locally and each argument is wrapped in a
+    local ``eval``.
+    """
+    service = expression.expr
+    if not isinstance(service, Service):
+        raise ValueError("local invocation expects eval@p(s@p(...))")
+    if service.peer != expression.peer:
+        raise ValueError(
+            f"service is at {service.peer!r}, not at the evaluating peer "
+            f"{expression.peer!r}; use rewrite_external_invocation"
+        )
+    wrapped_args = [Eval(expression.peer, arg) for arg in service.args]
+    return Service(service.name, service.peer, wrapped_args, state="executing")
+
+
+def rewrite_external_invocation(node: Var, expression: Eval) -> list[PeerAction]:
+    """Rule 2: external invocation.
+
+    ``#x@p<eval@p(s@p'(...))>`` becomes two concurrent actions::
+
+        @p : #x@p<°receive@p()>
+        @p': eval@p'(send@p'(#x@p, s@p'(...)))
+
+    ``node`` is the node variable ``#x@p`` under which the (stream of)
+    result(s) is expected.
+    """
+    if not node.is_node:
+        raise ValueError("the target of an external invocation must be a node variable")
+    service = expression.expr
+    if not isinstance(service, Service):
+        raise ValueError("external invocation expects eval@p(s@p'(...))")
+    if service.peer == expression.peer:
+        raise ValueError("service and caller are co-located; use the local rule")
+    caller_action = PeerAction(expression.peer, Receive(expression.peer))
+    callee_action = PeerAction(
+        service.peer,
+        Eval(service.peer, Send(service.peer, node, service)),
+    )
+    return [caller_action, callee_action]
+
+
+# --------------------------------------------------------------------------- #
+# Selection push-down (operator plans)
+# --------------------------------------------------------------------------- #
+
+
+def push_selections_down(plan: PlanNode) -> PlanNode:
+    """Push filter nodes as close to the sources as possible.
+
+    Two rules are applied repeatedly until a fixpoint:
+
+    * ``σ(∪(a, b)) -> ∪(σ(a), σ(b))``
+    * ``σ(⋈(a, b)) -> ⋈(σ(a), b)`` (or the right side) when every condition of
+      the filter refers only to that side's variable.
+
+    The input plan is not modified; a rewritten copy is returned.
+    """
+    node = plan.copy()
+    changed = True
+    while changed:
+        node, changed = _push_once(node)
+    return node
+
+
+def _push_once(node: PlanNode) -> tuple[PlanNode, bool]:
+    new_children = []
+    changed = False
+    for child in node.children:
+        rewritten, child_changed = _push_once(child)
+        new_children.append(rewritten)
+        changed = changed or child_changed
+    node.children = new_children
+
+    if node.kind != FILTER or not node.children:
+        return node, changed
+    child = node.children[0]
+
+    if child.kind == UNION:
+        # clone the filter onto each branch of the union
+        child.children = [
+            PlanNode(FILTER, dict(node.params), [branch], node.placement)
+            for branch in child.children
+        ]
+        return child, True
+
+    if child.kind == JOIN:
+        variable = node.params.get("var")
+        left_var = child.params.get("left_var")
+        right_var = child.params.get("right_var")
+        if variable is not None and variable == left_var:
+            child.children[0] = PlanNode(
+                FILTER, dict(node.params), [child.children[0]], node.placement
+            )
+            return child, True
+        if variable is not None and variable == right_var:
+            child.children[1] = PlanNode(
+                FILTER, dict(node.params), [child.children[1]], node.placement
+            )
+            return child, True
+
+    return node, changed

@@ -1,0 +1,218 @@
+"""Variable bindings, value references and RETURN-clause templates.
+
+A subscription may involve several stream variables (``$c1``, ``$c2`` in the
+meteo example).  Once streams are joined, each stream item is a *binding
+tuple* pairing variable names with the XML trees they are bound to.  Value
+references -- the dot notation ``$c1.caller`` (root attribute) or a path
+``$c1/alert/...`` -- read values out of a binding, and templates build the
+output trees of the RETURN clause by substituting ``{...}`` expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlmodel.tree import Element
+from repro.xmlmodel.xpath import XPath
+
+#: Mapping from variable name to the XML tree bound to it.
+Binding = dict[str, Element]
+
+TUPLE_TAG = "tuple"
+BINDING_TAG = "binding"
+
+
+def make_tuple_item(binding: Binding) -> Element:
+    """Encode a binding as an XML tree so it can travel on a stream."""
+    children = [
+        Element(BINDING_TAG, {"var": name}, [tree.copy()])
+        for name, tree in sorted(binding.items())
+    ]
+    return Element(TUPLE_TAG, children=children)
+
+
+def is_tuple_item(item: Element) -> bool:
+    return item.tag == TUPLE_TAG
+
+
+def get_binding(item: Element, default_var: str | None = None) -> Binding:
+    """Decode an item into a binding.
+
+    A non-tuple item is interpreted as binding ``default_var`` (or ``"item"``)
+    to the whole tree, so operators work uniformly on raw alerter output and
+    on joined tuples.
+    """
+    if not is_tuple_item(item):
+        return {default_var or "item": item}
+    binding: Binding = {}
+    for child in item.children:
+        if child.tag == BINDING_TAG and child.children:
+            binding[child.attrib.get("var", "item")] = child.children[0]
+    return binding
+
+
+def merge_tuple_items(left: Element, right: Element, left_var: str, right_var: str) -> Element:
+    """Combine two (possibly already joined) items into one binding tuple."""
+    binding = get_binding(left, left_var)
+    binding.update(get_binding(right, right_var))
+    return make_tuple_item(binding)
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """A reference to a value inside a binding.
+
+    ``kind`` is one of:
+
+    * ``"attribute"`` -- the dot notation ``$var.attr`` (root attribute);
+    * ``"path"`` -- an XPath evaluated against the tree bound to ``var``;
+    * ``"self"`` -- the whole tree bound to ``var``;
+    * ``"literal"`` -- a constant value (no variable involved).
+    """
+
+    var: str
+    kind: str
+    detail: str = ""
+
+    @classmethod
+    def attribute(cls, var: str, attribute: str) -> "ValueRef":
+        return cls(var, "attribute", attribute)
+
+    @classmethod
+    def path(cls, var: str, expression: str) -> "ValueRef":
+        return cls(var, "path", expression)
+
+    @classmethod
+    def whole(cls, var: str) -> "ValueRef":
+        return cls(var, "self")
+
+    @classmethod
+    def literal(cls, value: str) -> "ValueRef":
+        return cls("", "literal", str(value))
+
+    def value(self, binding: Binding) -> str | None:
+        """The scalar value of this reference under ``binding`` (or ``None``)."""
+        if self.kind == "literal":
+            return self.detail
+        tree = binding.get(self.var)
+        if tree is None:
+            return None
+        if self.kind == "attribute":
+            return tree.attrib.get(self.detail)
+        if self.kind == "self":
+            return tree.text
+        result = XPath.compile(self.detail).select(tree, relative=True)
+        if not result:
+            return None
+        first = result[0]
+        return first.text if isinstance(first, Element) else str(first)
+
+    def node(self, binding: Binding) -> Element | None:
+        """The node value of this reference (for ``self`` and element paths)."""
+        if self.kind == "literal":
+            return Element("value", text=self.detail)
+        tree = binding.get(self.var)
+        if tree is None:
+            return None
+        if self.kind == "self":
+            return tree
+        if self.kind == "attribute":
+            return None
+        result = XPath.compile(self.detail).select(tree, relative=True)
+        for item in result:
+            if isinstance(item, Element):
+                return item
+        return None
+
+    def __str__(self) -> str:
+        if self.kind == "literal":
+            return repr(self.detail)
+        if self.kind == "attribute":
+            return f"${self.var}.{self.detail}"
+        if self.kind == "self":
+            return f"${self.var}"
+        return f"${self.var}/{self.detail}"
+
+
+class RestructureTemplate:
+    """Template of the RETURN clause: an XML skeleton with ``{...}`` holes.
+
+    The skeleton is an :class:`Element` tree.  Attribute values and text
+    payloads of the form ``{$var.attr}`` / ``{$var/path}`` / ``{$var}`` are
+    replaced at runtime by the corresponding value from the binding.
+    """
+
+    def __init__(self, skeleton: Element) -> None:
+        self.skeleton = skeleton
+
+    def instantiate(self, binding: Binding) -> Element:
+        """Build the output tree for one binding."""
+        return self._build(self.skeleton, binding)
+
+    def _build(self, node: Element, binding: Binding) -> Element:
+        attrib = {
+            name: self._substitute_scalar(value, binding)
+            for name, value in node.attrib.items()
+        }
+        out = Element(node.tag, attrib)
+        if node.text is not None:
+            expression = _hole_expression(node.text)
+            if expression is not None:
+                ref = parse_value_ref(expression)
+                embedded = ref.node(binding)
+                if embedded is not None and ref.kind in ("self", "path"):
+                    out.append(embedded.copy())
+                else:
+                    out.text = ref.value(binding) or ""
+            else:
+                out.text = node.text
+        for child in node.children:
+            out.append(self._build(child, binding))
+        return out
+
+    def _substitute_scalar(self, raw: str, binding: Binding) -> str:
+        expression = _hole_expression(raw)
+        if expression is None:
+            return raw
+        value = parse_value_ref(expression).value(binding)
+        return value if value is not None else ""
+
+    def variables(self) -> set[str]:
+        """All variables mentioned by the template's holes."""
+        found: set[str] = set()
+        for node in self.skeleton.iter():
+            for value in list(node.attrib.values()) + ([node.text] if node.text else []):
+                expression = _hole_expression(value)
+                if expression is not None:
+                    ref = parse_value_ref(expression)
+                    if ref.var:
+                        found.add(ref.var)
+        return found
+
+    def __repr__(self) -> str:
+        return f"RestructureTemplate({self.skeleton.tag!r})"
+
+
+def _hole_expression(raw: str | None) -> str | None:
+    """Return the expression inside ``{...}`` when the whole value is a hole."""
+    if raw is None:
+        return None
+    stripped = raw.strip()
+    if stripped.startswith("{") and stripped.endswith("}"):
+        return stripped[1:-1].strip()
+    return None
+
+
+def parse_value_ref(expression: str) -> ValueRef:
+    """Parse ``$var``, ``$var.attr`` or ``$var/path`` (else a literal)."""
+    expression = expression.strip()
+    if not expression.startswith("$"):
+        return ValueRef.literal(expression.strip("'\""))
+    body = expression[1:]
+    if "." in body and "/" not in body.split(".", 1)[0]:
+        var, attribute = body.split(".", 1)
+        return ValueRef.attribute(var, attribute)
+    if "/" in body:
+        var, path = body.split("/", 1)
+        return ValueRef.path(var, path)
+    return ValueRef.whole(body)

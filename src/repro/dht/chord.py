@@ -1,0 +1,218 @@
+"""A Chord-style distributed hash table.
+
+The ring stores (key, value) pairs at the successor node of the key's hash.
+Lookups are routed through finger tables, so the number of hops grows
+logarithmically with the number of nodes -- the property benchmark E8
+measures.  Node joins and departures move exactly the keys that change
+successor, and an event log of joins/leaves feeds the ``areRegistered``
+membership alerter.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.dht.hashing import M_BITS, hash_key, in_interval
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a key lookup: responsible node and routing cost."""
+
+    node_id: str
+    hops: int
+    path: list[str] = field(default_factory=list)
+
+
+class ChordNode:
+    """One node of the ring; stores the keys it is responsible for."""
+
+    def __init__(self, node_id: str, position: int) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.storage: dict[str, object] = {}
+        # finger table, rebuilt lazily when the ring membership changes
+        self.fingers: list["ChordNode"] = []
+        self._fingers_version = -1
+
+    def __repr__(self) -> str:
+        return f"ChordNode({self.node_id!r}, position={self.position})"
+
+
+class ChordRing:
+    """The whole ring.
+
+    The implementation is a *simulation* of Chord: global knowledge is used
+    to build correct finger tables after each membership change (the paper's
+    KadoP similarly assumes a maintained DHT), but lookups strictly follow
+    finger-table routing so hop counts are faithful.
+    """
+
+    def __init__(self, bits: int = M_BITS) -> None:
+        self.bits = bits
+        self._nodes: dict[str, ChordNode] = {}
+        self._sorted: list[ChordNode] = []
+        self._positions: list[int] = []  # sorted positions, parallel to _sorted
+        self._version = 0  # bumped on every membership change (invalidates fingers)
+        self.membership_log: list[tuple[str, str]] = []  # (event, node_id)
+        self.lookup_count = 0
+        self.total_hops = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def join(self, node_id: str) -> ChordNode:
+        """Add a node; keys now owned by it are transferred from its successor."""
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already in the ring")
+        position = hash_key(node_id, self.bits)
+        while any(node.position == position for node in self._sorted):
+            position = (position + 1) % (1 << self.bits)  # avoid collisions
+        node = ChordNode(node_id, position)
+        self._nodes[node_id] = node
+        index = bisect.bisect_left(self._positions, position)
+        self._sorted.insert(index, node)
+        self._positions.insert(index, position)
+        self._version += 1
+        self._transfer_keys_to(node)
+        self.membership_log.append(("join", node_id))
+        return node
+
+    def leave(self, node_id: str) -> None:
+        """Remove a node; its keys move to its successor."""
+        node = self._nodes.pop(node_id, None)
+        if node is None:
+            raise KeyError(f"node {node_id!r} is not in the ring")
+        index = self._sorted.index(node)
+        del self._sorted[index]
+        del self._positions[index]
+        self._version += 1
+        self.membership_log.append(("leave", node_id))
+        if self._sorted:
+            successor = self._successor_node(node.position)
+            successor.storage.update(node.storage)
+
+    @property
+    def node_ids(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> ChordNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[ChordNode]:
+        return iter(self._sorted)
+
+    # -- topology maintenance ----------------------------------------------------
+
+    def _successor_node(self, position: int) -> ChordNode:
+        """First node whose position is >= ``position`` (wrapping around)."""
+        index = bisect.bisect_left(self._positions, position)
+        if index == len(self._sorted):
+            index = 0
+        return self._sorted[index]
+
+    def _fingers_of(self, node: ChordNode) -> list[ChordNode]:
+        """The node's finger table, rebuilt lazily after membership changes."""
+        if node._fingers_version != self._version:
+            node.fingers = [
+                self._successor_node((node.position + (1 << i)) % (1 << self.bits))
+                for i in range(self.bits)
+            ]
+            node._fingers_version = self._version
+        return node.fingers
+
+    def _transfer_keys_to(self, new_node: ChordNode) -> None:
+        if len(self._sorted) == 1:
+            return
+        successor = self._successor_node((new_node.position + 1) % (1 << self.bits))
+        if successor is new_node:
+            return
+        moved = [
+            key
+            for key in successor.storage
+            if self._successor_node(hash_key(key, self.bits)) is new_node
+        ]
+        for key in moved:
+            new_node.storage[key] = successor.storage.pop(key)
+
+    # -- routing ------------------------------------------------------------------
+
+    def lookup(self, key: str, start: str | None = None) -> LookupResult:
+        """Route to the node responsible for ``key`` using finger tables."""
+        if not self._sorted:
+            raise RuntimeError("the ring is empty")
+        target = hash_key(key, self.bits)
+        current = self._nodes[start] if start else self._sorted[0]
+        hops = 0
+        path = [current.node_id]
+        # Follow fingers: jump to the finger closest to (but not past) the target.
+        while True:
+            successor = self._successor_of(current)
+            if in_interval(target, current.position, successor.position, self.bits):
+                responsible = successor
+                break
+            next_node = self._closest_preceding(current, target)
+            if next_node is current:
+                responsible = self._successor_node(target)
+                break
+            current = next_node
+            hops += 1
+            path.append(current.node_id)
+        if responsible.node_id != path[-1]:
+            hops += 1
+            path.append(responsible.node_id)
+        self.lookup_count += 1
+        self.total_hops += hops
+        return LookupResult(responsible.node_id, hops, path)
+
+    def _successor_of(self, node: ChordNode) -> ChordNode:
+        index = self._sorted.index(node)
+        return self._sorted[(index + 1) % len(self._sorted)]
+
+    def _closest_preceding(self, node: ChordNode, target: int) -> ChordNode:
+        for finger in reversed(self._fingers_of(node)):
+            if finger is node:
+                continue
+            if in_interval(
+                finger.position,
+                node.position,
+                (target - 1) % (1 << self.bits),
+                self.bits,
+            ):
+                return finger
+        return node
+
+    # -- storage -------------------------------------------------------------------
+
+    def put(self, key: str, value: object, start: str | None = None) -> LookupResult:
+        """Store ``value`` under ``key`` at the responsible node."""
+        result = self.lookup(key, start)
+        self._nodes[result.node_id].storage[key] = value
+        return result
+
+    def get(self, key: str, start: str | None = None) -> tuple[object | None, LookupResult]:
+        """Fetch the value stored under ``key`` (``None`` when absent)."""
+        result = self.lookup(key, start)
+        return self._nodes[result.node_id].storage.get(key), result
+
+    def remove(self, key: str, start: str | None = None) -> bool:
+        result = self.lookup(key, start)
+        return self._nodes[result.node_id].storage.pop(key, None) is not None
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hops per lookup since the ring was created."""
+        if self.lookup_count == 0:
+            return 0.0
+        return self.total_hops / self.lookup_count
+
+    def storage_distribution(self) -> dict[str, int]:
+        """Number of keys stored per node (used to check load spread)."""
+        return {node.node_id: len(node.storage) for node in self._sorted}

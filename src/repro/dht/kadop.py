@@ -1,0 +1,230 @@
+"""KadoP-style P2P XML index over the Chord ring.
+
+KadoP [3] lets "all the peers ... participate in the storage and indexing of
+the Stream Definition Database" and supports discovering streams "even when
+millions of streams have been declared by tens of thousands of peers".
+
+The index stores whole XML documents (stream descriptions) in the DHT and
+maintains postings lists from *terms* -- element tags and (tag, attribute,
+value) triples -- to document identifiers.  A tree-pattern query is answered
+by intersecting the postings of the terms it mentions and then verifying the
+full XPath on the candidate documents, mirroring how KadoP narrows down
+candidates before structural verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.dht.chord import ChordRing
+from repro.xmlmodel.tree import Element
+from repro.xmlmodel.xpath import BooleanExpr, Comparison, XPath
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """A peer joining or leaving the monitored DHT (feeds ``areRegistered``)."""
+
+    kind: str  # "join" | "leave"
+    peer_id: str
+
+    def to_element(self) -> Element:
+        tag = "p-join" if self.kind == "join" else "p-leave"
+        return Element(tag, text=self.peer_id)
+
+
+MembershipListener = Callable[[MembershipEvent], None]
+
+_DOCS_KEY = "__all_documents__"
+
+
+class KadopIndex:
+    """The Stream Definition Database: publish XML descriptions, query by XPath."""
+
+    def __init__(self, ring: ChordRing | None = None) -> None:
+        self.ring = ring if ring is not None else ChordRing()
+        if len(self.ring) == 0:
+            self.ring.join("kadop-seed")
+        self._doc_count = 0
+        self._membership_listeners: list[MembershipListener] = []
+        # ensure the catalogue of all doc ids exists
+        if self.ring.get(_DOCS_KEY)[0] is None:
+            self.ring.put(_DOCS_KEY, set())
+
+    # -- peer membership --------------------------------------------------------
+
+    def join_peer(self, peer_id: str) -> None:
+        """A peer registers with the DHT; keys are rebalanced automatically.
+
+        Registration is idempotent with respect to storage membership: a peer
+        that already participates in the ring (e.g. because it stores part of
+        the index) still produces a ``join`` event for the membership stream.
+        """
+        if peer_id not in self.ring:
+            self.ring.join(peer_id)
+        self._notify(MembershipEvent("join", peer_id))
+
+    def leave_peer(self, peer_id: str) -> None:
+        """A peer deregisters; its keys move to its successor."""
+        if peer_id in self.ring and len(self.ring) > 1:
+            self.ring.leave(peer_id)
+        self._notify(MembershipEvent("leave", peer_id))
+
+    def subscribe_membership(self, listener: MembershipListener) -> None:
+        """Register a callback invoked on every join/leave (the DHT event stream)."""
+        self._membership_listeners.append(listener)
+
+    def _notify(self, event: MembershipEvent) -> None:
+        for listener in list(self._membership_listeners):
+            listener(event)
+
+    # -- publication ---------------------------------------------------------------
+
+    def publish(self, document: Element, doc_id: str | None = None) -> str:
+        """Index ``document`` and return its identifier."""
+        if doc_id is None:
+            self._doc_count += 1
+            doc_id = f"doc{self._doc_count}"
+        self.ring.put(f"doc:{doc_id}", document.copy())
+        catalogue, _ = self.ring.get(_DOCS_KEY)
+        assert isinstance(catalogue, set)
+        catalogue.add(doc_id)
+        for term in self._terms_of_document(document):
+            self._add_posting(term, doc_id)
+        return doc_id
+
+    def unpublish(self, doc_id: str) -> bool:
+        """Remove a document from the index.  Returns False when unknown."""
+        document, _ = self.ring.get(f"doc:{doc_id}")
+        if document is None:
+            return False
+        assert isinstance(document, Element)
+        for term in self._terms_of_document(document):
+            postings, _ = self.ring.get(f"term:{term}")
+            if isinstance(postings, set):
+                postings.discard(doc_id)
+        catalogue, _ = self.ring.get(_DOCS_KEY)
+        if isinstance(catalogue, set):
+            catalogue.discard(doc_id)
+        self.ring.remove(f"doc:{doc_id}")
+        return True
+
+    def document(self, doc_id: str) -> Element | None:
+        document, _ = self.ring.get(f"doc:{doc_id}")
+        return document if isinstance(document, Element) else None
+
+    @property
+    def document_ids(self) -> list[str]:
+        catalogue, _ = self.ring.get(_DOCS_KEY)
+        return sorted(catalogue) if isinstance(catalogue, set) else []
+
+    # -- querying ---------------------------------------------------------------------
+
+    def query(self, query: str | XPath) -> list[tuple[str, Element]]:
+        """Return ``(doc_id, document)`` pairs whose document matches ``query``."""
+        path = XPath.compile(query) if isinstance(query, str) else query
+        candidates = self._candidate_doc_ids(path)
+        results: list[tuple[str, Element]] = []
+        for doc_id in sorted(candidates):
+            document = self.document(doc_id)
+            if document is not None and path.matches(document):
+                results.append((doc_id, document))
+        return results
+
+    def query_lookup_cost(self, query: str | XPath) -> dict[str, float]:
+        """Run a query and report the DHT routing cost it incurred."""
+        before_lookups = self.ring.lookup_count
+        before_hops = self.ring.total_hops
+        results = self.query(query)
+        lookups = self.ring.lookup_count - before_lookups
+        hops = self.ring.total_hops - before_hops
+        return {
+            "results": len(results),
+            "lookups": lookups,
+            "hops": hops,
+            "hops_per_lookup": hops / lookups if lookups else 0.0,
+        }
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _add_posting(self, term: str, doc_id: str) -> None:
+        key = f"term:{term}"
+        postings, _ = self.ring.get(key)
+        if not isinstance(postings, set):
+            postings = set()
+            self.ring.put(key, postings)
+        postings.add(doc_id)
+
+    def _postings(self, term: str) -> set[str]:
+        postings, _ = self.ring.get(f"term:{term}")
+        return set(postings) if isinstance(postings, set) else set()
+
+    @staticmethod
+    def _terms_of_document(document: Element) -> set[str]:
+        terms: set[str] = set()
+        for node in document.iter():
+            terms.add(f"tag:{node.tag}")
+            for name, value in node.attrib.items():
+                terms.add(f"attr:{node.tag}@{name}={value}")
+        return terms
+
+    def _candidate_doc_ids(self, path: XPath) -> set[str]:
+        terms = _terms_of_query(path)
+        if not terms:
+            catalogue, _ = self.ring.get(_DOCS_KEY)
+            return set(catalogue) if isinstance(catalogue, set) else set()
+        candidate_sets = [self._postings(term) for term in sorted(terms)]
+        candidates = candidate_sets[0]
+        for other in candidate_sets[1:]:
+            candidates &= other
+        return candidates
+
+
+def _terms_of_query(path: XPath) -> set[str]:
+    """Extract index terms that every matching document must contain."""
+    terms: set[str] = set()
+    for step in path.steps:
+        _terms_of_step(step, terms)
+    return terms
+
+
+def _terms_of_step(step, terms: set[str]) -> None:
+    tag = None
+    if not step.is_attribute and not step.is_text and step.test != "*":
+        tag = step.test
+        terms.add(f"tag:{tag}")
+    for predicate in step.predicates:
+        _terms_of_boolean(predicate, tag, terms)
+
+
+def _terms_of_boolean(expr: BooleanExpr, tag: str | None, terms: set[str]) -> None:
+    if expr.kind == "leaf":
+        assert expr.leaf is not None
+        _terms_of_comparison(expr.leaf, tag, terms)
+    elif expr.kind == "and":
+        for child in expr.children:
+            _terms_of_boolean(child, tag, terms)
+    # "or" branches are not required terms: skip them (verification handles it)
+
+
+def _terms_of_comparison(comparison: Comparison, tag: str | None, terms: set[str]) -> None:
+    operands = [comparison.left]
+    if comparison.right is not None:
+        operands.append(comparison.right)
+    # attribute = literal on a named step is a strong, indexable term
+    if (
+        tag is not None
+        and comparison.op == "="
+        and comparison.left.kind == "attribute"
+        and comparison.right is not None
+        and comparison.right.kind == "literal"
+    ):
+        terms.add(f"attr:{tag}@{comparison.left.value}={comparison.right.value}")
+    # path operands contribute their element tags as required terms
+    for operand in operands:
+        if operand.kind == "path":
+            nested = operand.value
+            assert isinstance(nested, XPath)
+            for step in nested.steps:
+                _terms_of_step(step, terms)

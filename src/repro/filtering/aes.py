@@ -1,0 +1,124 @@
+"""AESFilter: the Atomic Event Set hash-tree of [15].
+
+Each subscription contributes the *ordered* sequence of its simple-condition
+identifiers.  The hash-tree stores these sequences by shared prefix: a node's
+hash table maps a condition identifier to a child node; a cell is *marked*
+with the subscriptions for which that condition is the last simple condition.
+
+Given the ordered list of conditions satisfied by a document (produced by
+the preFilter), matching walks the tree and collects the markings of every
+subscription whose full condition sequence is contained in the satisfied
+list.  The cost depends on the number of satisfied conditions, not on the
+total number of subscriptions, which is why the organisation "scales with
+the number of subscriptions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.filtering.conditions import ConditionRegistry, FilterSubscription
+
+
+@dataclass
+class AESMatch:
+    """Result of matching one document's satisfied conditions."""
+
+    simple_matches: list[str] = field(default_factory=list)
+    active_complex: list[str] = field(default_factory=list)
+
+    def all_ids(self) -> list[str]:
+        return self.simple_matches + self.active_complex
+
+
+class _HashTreeNode:
+    __slots__ = ("table", "simple_markings", "complex_markings")
+
+    def __init__(self) -> None:
+        self.table: dict[int, _HashTreeNode] = {}
+        # subscriptions whose *last* simple condition is the edge leading here
+        self.simple_markings: list[str] = []
+        self.complex_markings: list[str] = []
+
+
+class AESFilter:
+    """Hash-tree matcher for conjunctions of simple conditions."""
+
+    def __init__(self, registry: ConditionRegistry) -> None:
+        self._registry = registry
+        self._root = _HashTreeNode()
+        # subscriptions with no simple conditions are always active/matched
+        self._always_simple: list[str] = []
+        self._always_complex: list[str] = []
+        self.subscription_count = 0
+        self.nodes_visited = 0
+
+    # -- construction / maintenance ------------------------------------------------
+
+    def add_subscription(self, subscription: FilterSubscription) -> None:
+        """Insert one subscription's ordered simple-condition sequence."""
+        condition_ids = subscription.condition_ids(self._registry)
+        self.subscription_count += 1
+        if not condition_ids:
+            if subscription.is_complex:
+                self._always_complex.append(subscription.sub_id)
+            else:
+                self._always_simple.append(subscription.sub_id)
+            return
+        node = self._root
+        for condition_id in condition_ids:
+            node = node.table.setdefault(condition_id, _HashTreeNode())
+        if subscription.is_complex:
+            node.complex_markings.append(subscription.sub_id)
+        else:
+            node.simple_markings.append(subscription.sub_id)
+
+    def add_subscriptions(self, subscriptions: list[FilterSubscription]) -> None:
+        for subscription in subscriptions:
+            self.add_subscription(subscription)
+
+    # -- matching ----------------------------------------------------------------------
+
+    def match(self, satisfied_conditions: list[int]) -> AESMatch:
+        """Find subscriptions whose condition sequence ⊆ ``satisfied_conditions``.
+
+        ``satisfied_conditions`` must be sorted ascending (the preFilter
+        guarantees this).
+        """
+        result = AESMatch(
+            simple_matches=list(self._always_simple),
+            active_complex=list(self._always_complex),
+        )
+        self._walk(self._root, satisfied_conditions, 0, result)
+        return result
+
+    def _walk(
+        self,
+        node: _HashTreeNode,
+        satisfied: list[int],
+        start: int,
+        result: AESMatch,
+    ) -> None:
+        for index in range(start, len(satisfied)):
+            child = node.table.get(satisfied[index])
+            if child is None:
+                continue
+            self.nodes_visited += 1
+            if child.simple_markings:
+                result.simple_matches.extend(child.simple_markings)
+            if child.complex_markings:
+                result.active_complex.extend(child.complex_markings)
+            self._walk(child, satisfied, index + 1, result)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Total number of hash-tree nodes (measures prefix sharing)."""
+
+        def count(node: _HashTreeNode) -> int:
+            return 1 + sum(count(child) for child in node.table.values())
+
+        return count(self._root)
+
+    def reset_counters(self) -> None:
+        self.nodes_visited = 0

@@ -1,0 +1,203 @@
+"""Simple conditions, their registry, and filter subscriptions.
+
+A *simple condition* is an equality or inequality between an attribute of
+the root node of a stream item and a constant, e.g.
+``callee = "http://meteo.com"`` (Section 4).  The AES algorithm requires a
+total order over simple conditions; the :class:`ConditionRegistry` interns
+syntactically-equal conditions and assigns them stable integer identifiers
+that provide this order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlmodel.xpath import XPath
+
+#: Comparison operators supported in simple conditions.
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _as_number(value: str) -> float | None:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class SimpleCondition:
+    """``attribute op constant`` over the root attributes of a stream item."""
+
+    attribute: str
+    op: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(
+                f"unsupported operator {self.op!r}; expected one of {OPERATORS}"
+            )
+        object.__setattr__(self, "value", str(self.value))
+
+    def evaluate(self, attributes: dict[str, str]) -> bool:
+        """True when the condition holds for the given root attributes."""
+        actual = attributes.get(self.attribute)
+        if actual is None:
+            return False
+        left_num, right_num = _as_number(actual), _as_number(self.value)
+        left: object
+        right: object
+        if left_num is not None and right_num is not None:
+            left, right = left_num, right_num
+        else:
+            left, right = actual, self.value
+        if self.op == "=":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        if self.op == "<":
+            return left < right  # type: ignore[operator]
+        if self.op == "<=":
+            return left <= right  # type: ignore[operator]
+        if self.op == ">":
+            return left > right  # type: ignore[operator]
+        return left >= right  # type: ignore[operator]
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+class ConditionRegistry:
+    """Interns simple conditions and assigns them stable, ordered identifiers."""
+
+    def __init__(self) -> None:
+        self._by_condition: dict[SimpleCondition, int] = {}
+        self._by_id: list[SimpleCondition] = []
+
+    def register(self, condition: SimpleCondition) -> int:
+        """Return the identifier of ``condition``, registering it if new."""
+        existing = self._by_condition.get(condition)
+        if existing is not None:
+            return existing
+        condition_id = len(self._by_id)
+        self._by_condition[condition] = condition_id
+        self._by_id.append(condition)
+        return condition_id
+
+    def condition(self, condition_id: int) -> SimpleCondition:
+        return self._by_id[condition_id]
+
+    def id_of(self, condition: SimpleCondition) -> int:
+        return self._by_condition[condition]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, condition: SimpleCondition) -> bool:
+        return condition in self._by_condition
+
+    def conditions(self) -> list[SimpleCondition]:
+        return list(self._by_id)
+
+    def by_attribute(self) -> dict[str, list[tuple[int, SimpleCondition]]]:
+        """Hash-table view keyed by attribute name (what the preFilter uses)."""
+        table: dict[str, list[tuple[int, SimpleCondition]]] = {}
+        for condition_id, condition in enumerate(self._by_id):
+            table.setdefault(condition.attribute, []).append((condition_id, condition))
+        return table
+
+
+@dataclass(frozen=True)
+class ComputedCondition:
+    """Comparison of an arithmetic combination of root attributes to a constant.
+
+    This is what a LET-defined variable compiles to, e.g.
+    ``$duration := $c1.responseTimestamp - $c1.callTimestamp`` used in
+    ``$duration > 10`` becomes
+    ``ComputedCondition(((1, "responseTimestamp"), (-1, "callTimestamp")), ">", 10)``.
+    A missing or non-numeric attribute makes the condition false.
+    """
+
+    terms: tuple[tuple[int, str], ...]  # (sign, attribute-name or numeric literal)
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(
+                f"unsupported operator {self.op!r}; expected one of {OPERATORS}"
+            )
+
+    def evaluate(self, attributes: dict[str, str]) -> bool:
+        total = 0.0
+        for sign, term in self.terms:
+            literal = _as_number(term)
+            if literal is not None:
+                total += sign * literal
+                continue
+            raw = attributes.get(term)
+            number = _as_number(raw) if raw is not None else None
+            if number is None:
+                return False
+            total += sign * number
+        target = float(self.value)
+        if self.op == "=":
+            return total == target
+        if self.op == "!=":
+            return total != target
+        if self.op == "<":
+            return total < target
+        if self.op == "<=":
+            return total <= target
+        if self.op == ">":
+            return total > target
+        return total >= target
+
+    def __str__(self) -> str:
+        parts = []
+        for sign, term in self.terms:
+            prefix = "-" if sign < 0 else ("+" if parts else "")
+            parts.append(f"{prefix}{term}")
+        return f"{''.join(parts)} {self.op} {self.value}"
+
+
+@dataclass
+class FilterSubscription:
+    """One subscription ``Qi = (simple conditions) AND (complex queries)``.
+
+    ``complex_queries`` is a conjunction of tree-pattern queries (usually a
+    single XPath); a subscription with no complex query is *simple*.
+    ``computed`` holds LET-derived arithmetic conditions, also evaluated on
+    the root attributes only.
+    """
+
+    sub_id: str
+    simple: list[SimpleCondition] = field(default_factory=list)
+    complex_queries: list[XPath] = field(default_factory=list)
+    computed: list[ComputedCondition] = field(default_factory=list)
+
+    @property
+    def is_simple(self) -> bool:
+        return not self.complex_queries
+
+    @property
+    def is_complex(self) -> bool:
+        return bool(self.complex_queries)
+
+    def condition_ids(self, registry: ConditionRegistry) -> list[int]:
+        """Register this subscription's simple conditions; return ordered ids."""
+        ids = sorted({registry.register(condition) for condition in self.simple})
+        return ids
+
+    def computed_hold(self, item) -> bool:
+        """True when every computed (LET-derived) condition holds for ``item``."""
+        return all(condition.evaluate(item.attrib) for condition in self.computed)
+
+    def matches_extensionally(self, item) -> bool:
+        """Reference semantics: evaluate everything directly (used by tests/naive)."""
+        if not all(condition.evaluate(item.attrib) for condition in self.simple):
+            return False
+        if not self.computed_hold(item):
+            return False
+        return all(query.matches(item) for query in self.complex_queries)

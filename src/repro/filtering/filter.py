@@ -1,0 +1,140 @@
+"""FilterOperator: the full two-stage filter of Section 4.
+
+Processing of one stream item:
+
+1. :class:`PreFilter` reads the root attributes and returns the ordered list
+   of satisfied simple conditions.
+2. :class:`AESFilter` finds (i) simple subscriptions entirely satisfied and
+   (ii) *active* complex subscriptions, i.e. those whose simple conditions
+   are all satisfied and whose tree-pattern queries must still be checked.
+3. :class:`YFilterSigma`, virtually pruned to the active subscriptions,
+   checks the tree-pattern queries.
+
+ActiveXML laziness: if the item carries intensional content (``sc`` service
+calls) it is materialised *only* when step 3 actually runs, so items
+rejected by their simple conditions never trigger the external call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.filtering.aes import AESFilter
+from repro.filtering.conditions import ConditionRegistry, FilterSubscription
+from repro.filtering.prefilter import PreFilter
+from repro.filtering.yfilter import YFilterSigma
+from repro.xmlmodel.axml import ServiceRegistry, has_service_calls, materialize
+from repro.xmlmodel.tree import Element
+
+
+@dataclass
+class FilterResult:
+    """Matches of one stream item against the subscription set."""
+
+    item: Element
+    matched: list[str] = field(default_factory=list)
+
+    @property
+    def any(self) -> bool:
+        return bool(self.matched)
+
+
+class FilterOperator:
+    """Matches stream items against a (large) set of filter subscriptions."""
+
+    def __init__(
+        self,
+        subscriptions: list[FilterSubscription] | None = None,
+        service_registry: ServiceRegistry | None = None,
+    ) -> None:
+        self.conditions = ConditionRegistry()
+        self.prefilter = PreFilter(self.conditions)
+        self.aes = AESFilter(self.conditions)
+        self.yfilter = YFilterSigma()
+        self.service_registry = service_registry
+        self._subscriptions: dict[str, FilterSubscription] = {}
+        self._query_ids: dict[str, list[str]] = {}
+        # counters used by benchmarks and tests
+        self.items_processed = 0
+        self.items_matched = 0
+        self.complex_evaluations = 0
+        self.materializations = 0
+        for subscription in subscriptions or []:
+            self.add_subscription(subscription)
+
+    # -- subscription management ---------------------------------------------------
+
+    def add_subscription(self, subscription: FilterSubscription) -> None:
+        """Register a subscription (offline adjustment of the filter)."""
+        if subscription.sub_id in self._subscriptions:
+            raise ValueError(f"subscription {subscription.sub_id!r} already registered")
+        self._subscriptions[subscription.sub_id] = subscription
+        self.aes.add_subscription(subscription)
+        query_ids: list[str] = []
+        for index, query in enumerate(subscription.complex_queries):
+            query_id = f"{subscription.sub_id}::{index}"
+            self.yfilter.add_query(query_id, query)
+            query_ids.append(query_id)
+        self._query_ids[subscription.sub_id] = query_ids
+
+    def subscription(self, sub_id: str) -> FilterSubscription:
+        return self._subscriptions[sub_id]
+
+    @property
+    def subscription_ids(self) -> list[str]:
+        return sorted(self._subscriptions)
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # -- item processing ---------------------------------------------------------------
+
+    def process(self, item: Element) -> FilterResult:
+        """Match one stream item; returns the identifiers of satisfied subscriptions."""
+        self.items_processed += 1
+        satisfied = self.prefilter.satisfied_conditions(item)
+        aes_match = self.aes.match(satisfied)
+        matched = [
+            sub_id
+            for sub_id in aes_match.simple_matches
+            if self._subscriptions[sub_id].computed_hold(item)
+        ]
+
+        active_complex = [
+            sub_id
+            for sub_id in aes_match.active_complex
+            if self._subscriptions[sub_id].computed_hold(item)
+        ]
+        if active_complex:
+            self.complex_evaluations += len(active_complex)
+            target = self._extensional_view(item)
+            active_query_ids = {
+                query_id
+                for sub_id in active_complex
+                for query_id in self._query_ids[sub_id]
+            }
+            matched_queries = self.yfilter.match(target, active_query_ids)
+            for sub_id in active_complex:
+                if all(qid in matched_queries for qid in self._query_ids[sub_id]):
+                    matched.append(sub_id)
+
+        matched.sort()
+        if matched:
+            self.items_matched += 1
+        return FilterResult(item=item, matched=matched)
+
+    def _extensional_view(self, item: Element) -> Element:
+        """Materialise intensional content only when complex queries must run."""
+        if self.service_registry is not None and has_service_calls(item):
+            self.materializations += 1
+            return materialize(item, self.service_registry)
+        return item
+
+    def reset_counters(self) -> None:
+        self.items_processed = 0
+        self.items_matched = 0
+        self.complex_evaluations = 0
+        self.materializations = 0
+        self.prefilter.reset_counters()
+        self.aes.reset_counters()
+        self.yfilter.reset_counters()

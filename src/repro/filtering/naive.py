@@ -1,0 +1,53 @@
+"""Single-stage baseline filter used by the benchmarks.
+
+The naive strategy evaluates every subscription in full (simple conditions
+*and* tree-pattern queries, via the generic XPath evaluator) on every stream
+item, and always materialises intensional content first.  This is the
+strawman the two-stage Filter is compared against in experiments E2 and E6.
+"""
+
+from __future__ import annotations
+
+from repro.filtering.conditions import FilterSubscription
+from repro.filtering.filter import FilterResult
+from repro.xmlmodel.axml import ServiceRegistry, has_service_calls, materialize
+from repro.xmlmodel.tree import Element
+
+
+class NaiveFilter:
+    """Evaluates every subscription on every item, with no pre-filtering."""
+
+    def __init__(
+        self,
+        subscriptions: list[FilterSubscription] | None = None,
+        service_registry: ServiceRegistry | None = None,
+    ) -> None:
+        self._subscriptions: dict[str, FilterSubscription] = {}
+        self.service_registry = service_registry
+        self.items_processed = 0
+        self.evaluations = 0
+        self.materializations = 0
+        for subscription in subscriptions or []:
+            self.add_subscription(subscription)
+
+    def add_subscription(self, subscription: FilterSubscription) -> None:
+        if subscription.sub_id in self._subscriptions:
+            raise ValueError(f"subscription {subscription.sub_id!r} already registered")
+        self._subscriptions[subscription.sub_id] = subscription
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def process(self, item: Element) -> FilterResult:
+        self.items_processed += 1
+        target = item
+        if self.service_registry is not None and has_service_calls(item):
+            self.materializations += 1
+            target = materialize(item, self.service_registry)
+        matched = []
+        for sub_id, subscription in self._subscriptions.items():
+            self.evaluations += 1
+            if subscription.matches_extensionally(target):
+                matched.append(sub_id)
+        matched.sort()
+        return FilterResult(item=item, matched=matched)

@@ -1,0 +1,53 @@
+"""preFilter: on-the-fly evaluation of simple conditions on root attributes.
+
+"The preFilter module is an automaton that, for each document t, reads the
+first tag of t (so, in particular, the root's attributes).  It tests the
+simple conditions which are organized in a hash-table with the attribute
+name as key and the condition as value." (Section 4)
+
+Only root attributes are inspected; the rest of the document is never read
+by this stage, which is what makes it cheap.
+"""
+
+from __future__ import annotations
+
+from repro.filtering.conditions import ConditionRegistry, SimpleCondition
+from repro.xmlmodel.tree import Element
+
+
+class PreFilter:
+    """Evaluates every registered simple condition against a root's attributes."""
+
+    def __init__(self, registry: ConditionRegistry) -> None:
+        self._registry = registry
+        self._table: dict[str, list[tuple[int, SimpleCondition]]] = {}
+        self._built_for = -1
+        self.documents_processed = 0
+        self.conditions_evaluated = 0
+
+    def _rebuild_if_needed(self) -> None:
+        if self._built_for != len(self._registry):
+            self._table = self._registry.by_attribute()
+            self._built_for = len(self._registry)
+
+    def satisfied_conditions(self, item: Element) -> list[int]:
+        """Ordered list of identifiers of the simple conditions ``item`` satisfies.
+
+        Only conditions on attributes actually present on the root are
+        evaluated -- the hash-table organisation means absent attributes cost
+        nothing.
+        """
+        self._rebuild_if_needed()
+        self.documents_processed += 1
+        satisfied: list[int] = []
+        for attribute in item.attrib:
+            for condition_id, condition in self._table.get(attribute, ()):
+                self.conditions_evaluated += 1
+                if condition.evaluate(item.attrib):
+                    satisfied.append(condition_id)
+        satisfied.sort()
+        return satisfied
+
+    def reset_counters(self) -> None:
+        self.documents_processed = 0
+        self.conditions_evaluated = 0

@@ -1,0 +1,153 @@
+"""YFilterSigma: a shared-prefix NFA for tree-pattern queries.
+
+Path queries are compiled into a single non-deterministic automaton whose
+states are shared between queries with common prefixes, as in YFilter [8].
+Matching one document is a single traversal maintaining a set of active
+states per element; the cost is largely independent of the number of
+registered queries.
+
+"Given a tree t, only certain subscriptions are active so the automaton is
+virtually pruned to adapt to the specific filtering task for t": the
+``active_queries`` argument of :meth:`YFilterSigma.match` restricts which
+accepting states are reported and which queries get the (more expensive)
+predicate verification.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.tree import Element
+from repro.xmlmodel.xpath import XPath
+
+
+class _State:
+    __slots__ = ("transitions", "descendant", "accepting")
+
+    def __init__(self) -> None:
+        self.transitions: dict[str, "_State"] = {}
+        self.descendant: "_State | None" = None
+        self.accepting: list[str] = []
+
+
+class YFilterSigma:
+    """Shared NFA over the structural part of registered path queries."""
+
+    def __init__(self) -> None:
+        self._initial = _State()
+        self._queries: dict[str, XPath] = {}
+        self._needs_verification: dict[str, bool] = {}
+        self.states_created = 1
+        self.elements_processed = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def add_query(self, query_id: str, query: XPath | str) -> None:
+        """Register a query under ``query_id`` (compiling it if given as text)."""
+        if query_id in self._queries:
+            raise ValueError(f"query id {query_id!r} already registered")
+        path = XPath.compile(query) if isinstance(query, str) else query
+        self._queries[query_id] = path
+
+        # Structural steps are the leading element-name steps; attribute/text
+        # steps and any predicate require verification of the full XPath once
+        # the structural prefix has matched.
+        structural: list = []
+        needs_verification = False
+        for step in path.steps:
+            if step.is_attribute or step.is_text:
+                needs_verification = True
+                break
+            structural.append(step)
+            if step.predicates:
+                needs_verification = True
+        self._needs_verification[query_id] = needs_verification
+
+        node = self._initial
+        for step in structural:
+            if step.axis == "descendant":
+                if node.descendant is None:
+                    node.descendant = _State()
+                    node.descendant.descendant = node.descendant  # self-loop
+                    self.states_created += 1
+                node = node.descendant
+            target = node.transitions.get(step.test)
+            if target is None:
+                target = _State()
+                node.transitions[step.test] = target
+                self.states_created += 1
+            node = target
+        node.accepting.append(query_id)
+
+    @property
+    def query_count(self) -> int:
+        return len(self._queries)
+
+    def query(self, query_id: str) -> XPath:
+        return self._queries[query_id]
+
+    # -- matching -------------------------------------------------------------------
+
+    def match(
+        self, item: Element, active_queries: set[str] | None = None
+    ) -> set[str]:
+        """Return the ids of queries matching ``item``.
+
+        When ``active_queries`` is given, the automaton is virtually pruned:
+        only those queries can be reported and only they pay for predicate
+        verification.
+        """
+        structural: set[str] = set()
+        self._process(item, {self._initial}, structural, active_queries)
+        matched: set[str] = set()
+        for query_id in structural:
+            if self._needs_verification[query_id]:
+                if self._queries[query_id].matches(item):
+                    matched.add(query_id)
+            else:
+                matched.add(query_id)
+        return matched
+
+    def _process(
+        self,
+        element: Element,
+        active_states: set[_State],
+        structural: set[str],
+        active_queries: set[str] | None,
+    ) -> None:
+        self.elements_processed += 1
+        next_states: set[_State] = set()
+        for state in active_states:
+            self._follow(state, element.tag, next_states)
+        for state in next_states:
+            for query_id in state.accepting:
+                if active_queries is None or query_id in active_queries:
+                    structural.add(query_id)
+        if next_states:
+            for child in element.children:
+                self._process(child, next_states, structural, active_queries)
+
+    @staticmethod
+    def _follow(state: _State, tag: str, out: set[_State]) -> None:
+        target = state.transitions.get(tag)
+        if target is not None:
+            out.add(target)
+        target = state.transitions.get("*")
+        if target is not None:
+            out.add(target)
+        descendant = state.descendant
+        if descendant is None:
+            return
+        if descendant is state:
+            # a //-state stays active below itself; its name/'*' transitions
+            # were already followed above
+            out.add(state)
+            return
+        out.add(descendant)
+        target = descendant.transitions.get(tag)
+        if target is not None:
+            out.add(target)
+        target = descendant.transitions.get("*")
+        if target is not None:
+            out.add(target)
+
+    def reset_counters(self) -> None:
+        self.elements_processed = 0

@@ -1,0 +1,38 @@
+"""The P2P Monitor itself: subscription management, optimisation, reuse,
+placement and deployment (Sections 3 and 5).
+
+The top-level entry points are:
+
+* :class:`repro.monitor.P2PMSystem` -- a whole monitoring deployment: the
+  simulated network, the KadoP-backed Stream Definition Database and the
+  set of :class:`P2PMPeer` objects.
+* :class:`repro.monitor.P2PMPeer` -- one peer: it can host alerters, stream
+  processors and publishers, and runs a :class:`SubscriptionManager` that
+  accepts P2PML subscriptions and deploys the corresponding distributed
+  monitoring plans.
+"""
+
+from repro.monitor.subscription import Subscription, SubscriptionDatabase
+from repro.monitor.stream_db import StreamDefinitionDatabase, StreamDescription
+from repro.monitor.optimizer import optimize_plan
+from repro.monitor.placement import place_plan
+from repro.monitor.reuse import ReuseEngine, ReuseReport
+from repro.monitor.deployment import DeployedTask, Deployer
+from repro.monitor.manager import SubscriptionManager
+from repro.monitor.p2pm_peer import P2PMPeer, P2PMSystem
+
+__all__ = [
+    "Subscription",
+    "SubscriptionDatabase",
+    "StreamDefinitionDatabase",
+    "StreamDescription",
+    "optimize_plan",
+    "place_plan",
+    "ReuseEngine",
+    "ReuseReport",
+    "DeployedTask",
+    "Deployer",
+    "SubscriptionManager",
+    "P2PMPeer",
+    "P2PMSystem",
+]

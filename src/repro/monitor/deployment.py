@@ -1,0 +1,319 @@
+"""Deployment: turning a placed plan into running operators, streams and channels.
+
+Each plan node is instantiated at its assigned peer.  Whenever an operator
+consumes a stream produced at a *different* peer, the producer's stream is
+published as a channel and the consumer subscribes to it -- exactly the
+``send``/``receive`` pairs produced by the algebra's external-invocation
+rewrite rule (Section 3.3) and the channels X, Y, M of the Figure 4 plan.
+Every deployed stream is described in the Stream Definition Database so that
+later subscriptions can reuse it (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.algebra.operators import (
+    DuplicateRemovalOperator,
+    FilterProcessor,
+    GroupOperator,
+    JoinOperator,
+    Operator,
+    RestructureOperator,
+    UnionOperator,
+)
+from repro.algebra.plan import (
+    ALERTER,
+    DISTINCT,
+    EXISTING,
+    FILTER,
+    GROUP,
+    JOIN,
+    PUBLISH,
+    RESTRUCTURE,
+    UNION,
+    PlanNode,
+)
+from repro.algebra.template import ValueRef
+from repro.publishers import (
+    ChannelPublisher,
+    EmailPublisher,
+    FilePublisher,
+    Publisher,
+    RSSPublisher,
+    WebPagePublisher,
+)
+from repro.streams.stream import Stream, collect
+from repro.xmlmodel.tree import Element
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.p2pm_peer import P2PMPeer, P2PMSystem
+
+
+@dataclass
+class _StreamHandle:
+    """Where a deployed (sub)plan's output lives."""
+
+    peer_id: str
+    stream: Stream | None
+    stream_id: str
+    #: canonical identity used in stream descriptions (original, never replica)
+    original: tuple[str, str] = ("", "")
+
+    def __post_init__(self) -> None:
+        if self.original == ("", ""):
+            self.original = (self.peer_id, self.stream_id)
+
+
+@dataclass
+class DeployedTask:
+    """A running monitoring task."""
+
+    sub_id: str
+    plan: PlanNode
+    manager_peer: str
+    output_stream: Stream | None = None
+    results: list[Element] = field(default_factory=list)
+    publisher: Publisher | None = None
+    operators_by_peer: dict[str, list[Operator]] = field(default_factory=dict)
+    channels_created: list[str] = field(default_factory=list)
+    reuse_report: object | None = None
+
+    @property
+    def operator_count(self) -> int:
+        return sum(len(ops) for ops in self.operators_by_peer.values())
+
+    def peers_involved(self) -> list[str]:
+        return sorted(self.operators_by_peer)
+
+
+class DynamicAlerterSource:
+    """A source whose monitored peer set follows a membership stream.
+
+    Implements ``for $c in inCOM($j)``: every ``p-join`` event connects the
+    corresponding peer's alerter (creating it if needed), every ``p-leave``
+    disconnects it ("inCOM removes peers from the collection of monitored
+    peers").
+    """
+
+    def __init__(self, system: "P2PMSystem", alerter_function: str, output: Stream) -> None:
+        self.system = system
+        self.alerter_function = alerter_function
+        self.output = output
+        self._unsubscribe: dict[str, object] = {}
+
+    @property
+    def monitored_peers(self) -> list[str]:
+        return sorted(self._unsubscribe)
+
+    def on_membership_alert(self, item: object) -> None:
+        if not isinstance(item, Element):
+            return
+        kind = item.attrib.get("kind")
+        peer_id = item.attrib.get("peer")
+        if not peer_id:
+            return
+        if kind == "join" and peer_id not in self._unsubscribe:
+            if not self.system.has_peer(peer_id):
+                return
+            alerter = self.system.peer(peer_id).get_or_create_alerter(self.alerter_function)
+            self._unsubscribe[peer_id] = alerter.output.subscribe(self._forward)
+        elif kind == "leave" and peer_id in self._unsubscribe:
+            self._unsubscribe.pop(peer_id)()
+
+    def _forward(self, item: object) -> None:
+        if isinstance(item, Element):
+            self.output.emit(item)
+
+
+class Deployer:
+    """Instantiates placed plans on the peers of a :class:`P2PMSystem`."""
+
+    def __init__(self, system: "P2PMSystem", publish_replicas: bool = True) -> None:
+        self.system = system
+        self.publish_replicas = publish_replicas
+
+    # -- public API -------------------------------------------------------------------
+
+    def deploy(self, plan: PlanNode, sub_id: str, manager_peer: str) -> DeployedTask:
+        unplaced = plan.unplaced_nodes()
+        if unplaced:
+            raise ValueError(
+                f"cannot deploy: {len(unplaced)} plan node(s) have no placement"
+            )
+        task = DeployedTask(sub_id=sub_id, plan=plan, manager_peer=manager_peer)
+        self._counter = 0
+        if plan.kind == PUBLISH:
+            handle = self._deploy_node(plan.children[0], task)
+            self._deploy_publisher(plan, handle, task)
+        else:
+            handle = self._deploy_node(plan, task)
+            input_stream = self._local_input(manager_peer, handle, task)
+            task.output_stream = input_stream
+            task.results = collect(input_stream)
+        return task
+
+    # -- node deployment -----------------------------------------------------------------
+
+    def _next_stream_id(self, sub_id: str) -> str:
+        self._counter += 1
+        return f"{sub_id}.s{self._counter}"
+
+    def _deploy_node(self, node: PlanNode, task: DeployedTask) -> _StreamHandle:
+        if node.kind == ALERTER:
+            return self._deploy_alerter(node, task)
+        if node.kind == EXISTING:
+            return _StreamHandle(
+                peer_id=node.params.get("provider_peer", node.params["peer"]),
+                stream=None,
+                stream_id=node.params.get("provider_stream_id", node.params["stream_id"]),
+                original=(node.params["peer"], node.params["stream_id"]),
+            )
+        if node.kind == PUBLISH:
+            raise ValueError("publish nodes can only appear at the root of a plan")
+        return self._deploy_operator(node, task)
+
+    def _deploy_alerter(self, node: PlanNode, task: DeployedTask) -> _StreamHandle:
+        peer = self.system.peer(node.placement)
+        function = node.params.get("alerter", "alerter")
+        if node.params.get("membership_var"):
+            return self._deploy_dynamic_alerter(node, task, peer, function)
+        alerter = peer.get_or_create_alerter(function)
+        stream_id = alerter.output.stream_id
+        peer.ensure_channel(stream_id, alerter.output)
+        self.system.stream_db.publish_node(node, peer.peer_id, stream_id, [])
+        self._record(task, peer.peer_id, None)
+        return _StreamHandle(peer.peer_id, alerter.output, stream_id)
+
+    def _deploy_dynamic_alerter(
+        self, node: PlanNode, task: DeployedTask, peer: "P2PMPeer", function: str
+    ) -> _StreamHandle:
+        # deploy the membership stream (the node's child), then wire the
+        # dynamic source to it
+        membership_handle = self._deploy_node(node.children[0], task)
+        membership_stream = self._local_input(peer.peer_id, membership_handle, task)
+        stream_id = self._next_stream_id(task.sub_id)
+        output = peer.net.create_stream(stream_id)
+        dynamic = DynamicAlerterSource(self.system, function, output)
+        membership_stream.subscribe(dynamic.on_membership_alert)
+        peer.dynamic_sources.append(dynamic)
+        peer.ensure_channel(stream_id, output)
+        self.system.stream_db.publish_node(
+            node, peer.peer_id, stream_id, [membership_handle.original]
+        )
+        self._record(task, peer.peer_id, None)
+        return _StreamHandle(peer.peer_id, output, stream_id)
+
+    def _deploy_operator(self, node: PlanNode, task: DeployedTask) -> _StreamHandle:
+        peer = self.system.peer(node.placement)
+        child_handles = [self._deploy_node(child, task) for child in node.children]
+        input_streams = [self._local_input(peer.peer_id, handle, task) for handle in child_handles]
+        stream_id = self._next_stream_id(task.sub_id)
+        output = peer.net.create_stream(stream_id)
+        operator = self._make_operator(node, peer, output)
+        for stream in input_streams:
+            operator.connect(stream)
+        peer.operators.append(operator)
+        peer.ensure_channel(stream_id, output)
+        self.system.stream_db.publish_node(
+            node, peer.peer_id, stream_id, [handle.original for handle in child_handles]
+        )
+        self._record(task, peer.peer_id, operator)
+        return _StreamHandle(peer.peer_id, output, stream_id)
+
+    def _make_operator(self, node: PlanNode, peer: "P2PMPeer", output: Stream) -> Operator:
+        if node.kind == FILTER:
+            return FilterProcessor(
+                node.params["subscription"], output, service_registry=peer.service_registry
+            )
+        if node.kind == UNION:
+            return UnionOperator(output)
+        if node.kind == JOIN:
+            return JoinOperator(
+                node.params["left_var"],
+                node.params["right_var"],
+                node.params["predicate"],
+                output,
+                window=node.params.get("window"),
+            )
+        if node.kind == RESTRUCTURE:
+            return RestructureOperator(node.params["template"], node.params.get("var"), output)
+        if node.kind == DISTINCT:
+            return DuplicateRemovalOperator(output=output)
+        if node.kind == GROUP:
+            key = node.params.get("key")
+            if isinstance(key, str):
+                key = ValueRef.attribute(node.params.get("var", "item"), key)
+            return GroupOperator(key, every=node.params.get("every"), output=output,
+                                 default_var=node.params.get("var"))
+        raise ValueError(f"cannot instantiate operator for plan node kind {node.kind!r}")
+
+    # -- cross-peer wiring ------------------------------------------------------------------
+
+    def _local_input(
+        self, consumer_peer_id: str, handle: _StreamHandle, task: DeployedTask
+    ) -> Stream:
+        """Return a stream local to ``consumer_peer_id`` carrying ``handle``'s items."""
+        if handle.peer_id == consumer_peer_id and handle.stream is not None:
+            return handle.stream
+        producer = self.system.peer(handle.peer_id)
+        if handle.stream is not None:
+            producer.ensure_channel(handle.stream_id, handle.stream)
+        consumer = self.system.peer(consumer_peer_id)
+        proxy = consumer.net.subscribe_channel(handle.peer_id, handle.stream_id)
+        task.channels_created.append(f"#{handle.stream_id}@{handle.peer_id}")
+        if self.publish_replicas and handle.original[0] != consumer_peer_id:
+            # the consumer re-publishes the proxy as a channel, so it genuinely
+            # can provide the stream to others, and declares the replica
+            consumer.ensure_channel(proxy.stream_id, proxy)
+            self.system.stream_db.publish_replica(
+                handle.original[0], handle.original[1], consumer_peer_id, proxy.stream_id
+            )
+        return proxy
+
+    # -- publishers --------------------------------------------------------------------------
+
+    def _deploy_publisher(self, node: PlanNode, handle: _StreamHandle, task: DeployedTask) -> None:
+        peer = self.system.peer(node.placement)
+        input_stream = self._local_input(peer.peer_id, handle, task)
+        task.output_stream = input_stream
+        task.results = collect(input_stream)
+        mode = node.params.get("mode", "local")
+        publisher: Publisher | None = None
+        if mode == "channel":
+            # channel names are per-peer unique; a second subscription asking
+            # for an already-used name gets a suffixed channel
+            target = node.params["target"]
+            suffix = 2
+            while peer.net.channels.publishes(target):
+                target = f"{node.params['target']}-{suffix}"
+                suffix += 1
+            publisher = ChannelPublisher(peer.net, target)
+            subscriber = node.params.get("subscriber")
+            if subscriber:
+                publisher.add_subscriber(subscriber[0])
+            task.channels_created.append(f"#{target}@{peer.peer_id}")
+        elif mode == "email":
+            publisher = EmailPublisher(node.params["target"])
+        elif mode == "file":
+            publisher = FilePublisher(node.params.get("path"))
+        elif mode == "rss":
+            publisher = RSSPublisher(node.params["target"])
+        elif mode == "webpage":
+            publisher = WebPagePublisher(node.params["target"])
+        elif mode != "local":
+            raise ValueError(f"unknown publication mode {mode!r}")
+        if publisher is not None:
+            publisher.connect(input_stream)
+            peer.publishers.append(publisher)
+            self._record(task, peer.peer_id, None)
+        task.publisher = publisher
+
+    # -- bookkeeping -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _record(task: DeployedTask, peer_id: str, operator: Operator | None) -> None:
+        bucket = task.operators_by_peer.setdefault(peer_id, [])
+        if operator is not None:
+            bucket.append(operator)

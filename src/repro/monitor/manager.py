@@ -1,0 +1,81 @@
+"""The Subscription Manager (Section 3.1 / Figure 3).
+
+"When a user requests a monitoring task in P2PML, she forwards the
+subscription to a peer which becomes Subscription Manager for this
+subscription. ... The Subscription Manager is in charge of translating the
+subscription into a monitoring plan, optimizing this plan, and then
+deploying the optimized plan."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.monitor.deployment import DeployedTask, Deployer
+from repro.monitor.optimizer import optimize_plan
+from repro.monitor.placement import place_plan
+from repro.monitor.reuse import ReuseEngine
+from repro.monitor.subscription import DEPLOYED, Subscription, SubscriptionDatabase
+from repro.p2pml.ast import SubscriptionAST
+from repro.p2pml.compiler import compile_subscription
+from repro.p2pml.parser import parse_subscription
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.p2pm_peer import P2PMPeer
+
+
+class SubscriptionManager:
+    """Per-peer manager: compile, optimise, reuse, place and deploy subscriptions."""
+
+    def __init__(self, peer: "P2PMPeer") -> None:
+        self.peer = peer
+        self.database = SubscriptionDatabase()
+
+    def submit(
+        self,
+        subscription: str | SubscriptionAST,
+        sub_id: str | None = None,
+        reuse: bool = True,
+        push_selections: bool = True,
+    ) -> DeployedTask:
+        """Accept a subscription (text or AST) and deploy its monitoring task.
+
+        ``reuse`` and ``push_selections`` exist so that benchmarks can measure
+        the effect of disabling the corresponding optimisation.
+        """
+        if isinstance(subscription, str):
+            text: str | None = subscription
+            ast = parse_subscription(subscription)
+        else:
+            text = None
+            ast = subscription
+        sub_id = sub_id or self.database.new_id(f"{self.peer.peer_id}.sub")
+
+        plan = compile_subscription(ast, sub_id)
+        plan = optimize_plan(plan, push_selections=push_selections)
+
+        reuse_report = None
+        if reuse:
+            engine = ReuseEngine(
+                self.peer.system.stream_db,
+                network=self.peer.system.network,
+                consumer_peer=self.peer.peer_id,
+            )
+            plan, reuse_report = engine.apply(plan)
+
+        place_plan(plan, manager_peer=self.peer.peer_id, load=self.peer.system.placement_load)
+
+        deployer = Deployer(self.peer.system, publish_replicas=self.peer.system.publish_replicas)
+        task = deployer.deploy(plan, sub_id, manager_peer=self.peer.peer_id)
+        task.reuse_report = reuse_report
+
+        record = Subscription(
+            sub_id=sub_id,
+            text=text,
+            ast=ast,
+            plan=plan,
+            status=DEPLOYED,
+            manager_peer=self.peer.peer_id,
+        )
+        self.database.add(record)
+        return task

@@ -1,0 +1,185 @@
+"""P2PM peers and the system facade tying everything together.
+
+A :class:`P2PMPeer` corresponds to Figure 2: it runs a Subscription Manager,
+may host alerters, stream processors and publishers, and exchanges streams
+with other peers through channels.  A :class:`P2PMSystem` owns the simulated
+network, the KadoP index and the shared Stream Definition Database, and is
+the registry through which deployment finds peers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.alerters import (
+    ALERTER_KINDS,
+    Alerter,
+    AreRegisteredAlerter,
+    AXMLRepository,
+    AXMLRepositoryAlerter,
+    RSSFeedAlerter,
+    WebPageAlerter,
+    WSAlerter,
+)
+from repro.dht.chord import ChordRing
+from repro.dht.kadop import KadopIndex
+from repro.monitor.manager import SubscriptionManager
+from repro.monitor.stream_db import StreamDefinitionDatabase
+from repro.net.peer import Peer
+from repro.net.simnet import SimNetwork
+from repro.streams.stream import Stream
+from repro.xmlmodel.axml import ServiceRegistry
+
+AlerterHook = Callable[[Alerter], None]
+
+
+class P2PMSystem:
+    """A whole monitoring deployment: network + peers + Stream Definition DB."""
+
+    def __init__(self, seed: int = 0, publish_replicas: bool = True) -> None:
+        self.network = SimNetwork(seed=seed)
+        self.kadop = KadopIndex(ChordRing())
+        self.stream_db = StreamDefinitionDatabase(self.kadop)
+        self.publish_replicas = publish_replicas
+        #: operators assigned per peer so far; shared across subscription
+        #: managers so that placement balances the load globally
+        self.placement_load: dict[str, int] = {}
+        self._peers: dict[str, P2PMPeer] = {}
+
+    # -- peers ------------------------------------------------------------------
+
+    def add_peer(
+        self, peer_id: str, coordinates: tuple[float, float] | None = None
+    ) -> "P2PMPeer":
+        """Create a new P2PM peer and register it with the network and the DHT."""
+        if peer_id in self._peers:
+            raise ValueError(f"peer {peer_id!r} already exists")
+        peer = P2PMPeer(peer_id, self, coordinates)
+        self._peers[peer_id] = peer
+        # every P2PM peer also participates in the storage of the Stream
+        # Definition Database (KadoP is itself a P2P system)
+        if peer_id not in self.kadop.ring:
+            self.kadop.ring.join(peer_id)
+        return peer
+
+    def peer(self, peer_id: str) -> "P2PMPeer":
+        try:
+            return self._peers[peer_id]
+        except KeyError as exc:
+            raise KeyError(f"unknown P2PM peer {peer_id!r}") from exc
+
+    def has_peer(self, peer_id: str) -> bool:
+        return peer_id in self._peers
+
+    @property
+    def peer_ids(self) -> list[str]:
+        return sorted(self._peers)
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Deliver pending network messages (returns how many were delivered)."""
+        return self.network.run(max_steps)
+
+
+class P2PMPeer:
+    """One peer of the monitoring system."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        system: P2PMSystem,
+        coordinates: tuple[float, float] | None = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.system = system
+        self.net = Peer(peer_id, system.network, coordinates)
+        self.manager = SubscriptionManager(self)
+        self.repository = AXMLRepository(peer_id)
+        self.service_registry = ServiceRegistry()
+        self.operators: list = []
+        self.publishers: list = []
+        self.dynamic_sources: list = []
+        self._alerters: dict[str, Alerter] = {}
+        self._alerter_hooks: list[AlerterHook] = []
+        self._feed_sources: dict[str, Callable] = {}
+
+    # -- subscriptions -----------------------------------------------------------------
+
+    def subscribe(self, subscription, sub_id: str | None = None, **options):
+        """Submit a P2PML subscription; this peer becomes its Subscription Manager."""
+        return self.manager.submit(subscription, sub_id=sub_id, **options)
+
+    # -- alerter hosting -----------------------------------------------------------------
+
+    def add_alerter_hook(self, hook: AlerterHook) -> None:
+        """Register a callback invoked whenever an alerter is created here.
+
+        Workload simulators use this to attach newly created alerters to
+        their event sources (e.g. the SOAP traffic generator).
+        """
+        self._alerter_hooks.append(hook)
+        for alerter in self._alerters.values():
+            hook(alerter)
+
+    def register_feed(self, url: str, source: Callable) -> None:
+        """Declare the snapshot source of an RSS feed / Web page served here."""
+        self._feed_sources[url] = source
+
+    def host_alerter(self, function: str, alerter: Alerter) -> Alerter:
+        """Host a pre-built alerter under a P2PML function name."""
+        self._alerters[function] = alerter
+        for hook in self._alerter_hooks:
+            hook(alerter)
+        return alerter
+
+    def alerter(self, function: str) -> Alerter | None:
+        return self._alerters.get(function)
+
+    @property
+    def hosted_alerters(self) -> list[str]:
+        return sorted(self._alerters)
+
+    def get_or_create_alerter(self, function: str) -> Alerter:
+        """Return the alerter implementing ``function``, creating it if needed."""
+        existing = self._alerters.get(function)
+        if existing is not None:
+            return existing
+        kind, options = ALERTER_KINDS.get(function, (None, {}))
+        if kind == "ws":
+            alerter: Alerter = WSAlerter(self.peer_id, options["direction"])
+        elif kind == "rss":
+            url, source = self._single_feed_source(function)
+            alerter = RSSFeedAlerter(self.peer_id, url, source)
+        elif kind == "webpage":
+            alerter = WebPageAlerter(self.peer_id)
+            for url, source in sorted(self._feed_sources.items()):
+                alerter.watch(url, source)
+        elif kind == "axml":
+            alerter = AXMLRepositoryAlerter(self.peer_id, self.repository)
+        elif kind == "membership":
+            alerter = AreRegisteredAlerter(self.peer_id, self.system.kadop)
+        else:
+            raise ValueError(
+                f"peer {self.peer_id!r} cannot host an alerter for {function!r}"
+            )
+        return self.host_alerter(function, alerter)
+
+    def _single_feed_source(self, function: str):
+        if not self._feed_sources:
+            raise ValueError(
+                f"peer {self.peer_id!r} has no registered feed for alerter {function!r}"
+            )
+        url = sorted(self._feed_sources)[0]
+        return url, self._feed_sources[url]
+
+    # -- channels --------------------------------------------------------------------------
+
+    def ensure_channel(self, channel_id: str, stream: Stream) -> None:
+        """Publish ``stream`` as a channel unless it is already published."""
+        if not self.net.channels.publishes(channel_id):
+            self.net.publish_channel(channel_id, stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"P2PMPeer({self.peer_id!r}, alerters={len(self._alerters)}, "
+            f"operators={len(self.operators)})"
+        )

@@ -1,0 +1,145 @@
+"""The Reuse algorithm (Section 5): mapping plan nodes to existing streams.
+
+"The algorithm proceeds from the 'leaves' of the monitoring plan, attempting
+to map nodes in the plan to existing streams.  Operators that have all their
+operands matched generate queries to the database.  The result of the
+queries determines whether this operator will be mapped to an existing
+stream.  For a node that is matched, the algorithm searches for possible
+replicas of the streams to substitute for that node.  The nodes that have
+not been matched correspond to new streams that have to be produced."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.plan import ALERTER, EXISTING, PUBLISH, PlanNode
+from repro.monitor.stream_db import OPERATOR_NAMES, StreamDefinitionDatabase, operator_spec
+from repro.net.simnet import SimNetwork
+
+
+@dataclass
+class ReuseReport:
+    """What the reuse pass found and replaced."""
+
+    nodes_considered: int = 0
+    nodes_reused: int = 0
+    reused: list[tuple[str, str, str]] = field(default_factory=list)  # (kind, stream, provider)
+    queries_issued: int = 0
+
+    @property
+    def savings_ratio(self) -> float:
+        if self.nodes_considered == 0:
+            return 0.0
+        return self.nodes_reused / self.nodes_considered
+
+
+class ReuseEngine:
+    """Rewrites a plan so that sub-plans already computed elsewhere are reused."""
+
+    def __init__(
+        self,
+        stream_db: StreamDefinitionDatabase,
+        network: SimNetwork | None = None,
+        consumer_peer: str | None = None,
+    ) -> None:
+        self.stream_db = stream_db
+        self.network = network
+        self.consumer_peer = consumer_peer
+
+    def apply(self, plan: PlanNode) -> tuple[PlanNode, ReuseReport]:
+        """Return a rewritten copy of ``plan`` plus a report of what was reused."""
+        report = ReuseReport()
+        rewritten, _ = self._visit(plan.copy(), report)
+        return rewritten, report
+
+    # -- bottom-up matching -----------------------------------------------------------
+
+    def _visit(
+        self, node: PlanNode, report: ReuseReport
+    ) -> tuple[PlanNode, tuple[str, str] | None]:
+        """Returns (rewritten node, (peer, stream) of the matching stream or None)."""
+        if node.kind == PUBLISH:
+            # publication is always performed anew for the new subscription
+            new_children = [self._visit(child, report)[0] for child in node.children]
+            node.children = new_children
+            return node, None
+
+        child_results = [self._visit(child, report) for child in node.children]
+        node.children = [child for child, _ in child_results]
+        child_matches = [match for _, match in child_results]
+        report.nodes_considered += 1
+
+        match = self._match_node(node, child_matches, report)
+        if match is None:
+            return node, None
+
+        provider_peer, provider_stream = self._select_provider(match, report)
+        report.nodes_reused += 1
+        report.reused.append((node.kind, f"{match[1]}@{match[0]}", provider_peer))
+        existing = PlanNode(
+            EXISTING,
+            {
+                # canonical (original) identity, used when describing derived streams
+                "peer": match[0],
+                "stream_id": match[1],
+                # where to actually fetch the data from (a replica may be closer)
+                "provider_peer": provider_peer,
+                "provider_stream_id": provider_stream,
+                "var": node.params.get("var"),
+            },
+            [],
+        )
+        return existing, match
+
+    def _match_node(
+        self,
+        node: PlanNode,
+        child_matches: list[tuple[str, str] | None],
+        report: ReuseReport,
+    ) -> tuple[str, str] | None:
+        if node.kind == EXISTING:
+            return node.params["peer"], node.params["stream_id"]
+        if node.kind == ALERTER:
+            peer = node.params.get("peer")
+            if not peer or peer == "local":
+                return None
+            report.queries_issued += 1
+            found = self.stream_db.find_alerter_streams(peer, node.params.get("alerter", ""))
+            if found:
+                return found[0].peer_id, found[0].stream_id
+            return None
+        # an inner operator can only be reused when every operand matched
+        if not child_matches or any(match is None for match in child_matches):
+            return None
+        operator_name = OPERATOR_NAMES.get(node.kind)
+        if operator_name is None:
+            return None
+        report.queries_issued += 1
+        found = self.stream_db.find_operator_streams(
+            operator_name,
+            operator_spec(node),
+            [match for match in child_matches if match is not None],
+        )
+        if found:
+            return found[0].peer_id, found[0].stream_id
+        return None
+
+    # -- replica selection ---------------------------------------------------------------
+
+    def _select_provider(
+        self, original: tuple[str, str], report: ReuseReport
+    ) -> tuple[str, str]:
+        """Pick the original stream or one of its replicas, preferring a close provider."""
+        peer_id, stream_id = original
+        report.queries_issued += 1
+        candidates = [(peer_id, stream_id)] + self.stream_db.find_replicas(peer_id, stream_id)
+        if len(candidates) == 1 or self.network is None or self.consumer_peer is None:
+            return candidates[0]
+        reachable = [c for c in candidates if self.network.has_peer(c[0])]
+        if not reachable:
+            return candidates[0]
+        return min(
+            reachable,
+            key=lambda candidate: self.network.distance(self.consumer_peer, candidate[0]),
+        )

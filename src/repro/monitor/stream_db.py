@@ -1,0 +1,214 @@
+"""The Stream Definition Database (Section 5), backed by the KadoP index.
+
+Every stream produced in the system is described by an XML document::
+
+    <Stream PeerId="..." StreamId="..." isAChannel="...">
+      <Operator>...</Operator><Operands>...</Operands>
+      <Stats>...</Stats>
+    </Stream>
+
+Replicas (peers re-publishing a channel they subscribe to) are described by
+``<InChannel>`` documents.  Descriptions are always expressed over the
+*original* streams, never over replicas, which is what makes the Reuse
+algorithm a sequence of simple tree-pattern queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.algebra.plan import (
+    ALERTER,
+    DISTINCT,
+    EXISTING,
+    FILTER,
+    GROUP,
+    JOIN,
+    PUBLISH,
+    RESTRUCTURE,
+    UNION,
+    PlanNode,
+    plan_signature,
+)
+from repro.dht.kadop import KadopIndex
+from repro.xmlmodel.tree import Element
+
+#: Operator element names used in stream descriptions, by plan-node kind.
+OPERATOR_NAMES = {
+    ALERTER: None,  # the alerter kind itself is used (inCOM, outCOM, rss, ...)
+    FILTER: "Filter",
+    UNION: "Union",
+    JOIN: "Join",
+    RESTRUCTURE: "Restructure",
+    DISTINCT: "DuplicateRemoval",
+    GROUP: "Group",
+    PUBLISH: "Publisher",
+    EXISTING: None,
+}
+
+
+def operator_spec(node: PlanNode) -> str:
+    """A short, stable fingerprint of a node's own parameters.
+
+    Two nodes with the same kind, the same spec and operand-equal children
+    compute the same stream; the spec is stored on the operator element so
+    that reuse queries can require it.
+    """
+    signature = plan_signature(PlanNode(node.kind, dict(node.params), []))
+    return hashlib.sha1(signature.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class StreamDescription:
+    """Decoded view of one ``<Stream>`` document."""
+
+    peer_id: str
+    stream_id: str
+    is_channel: bool
+    operator: str
+    spec: str
+    operands: tuple[tuple[str, str], ...]
+
+    @property
+    def qualified_id(self) -> str:
+        return f"{self.stream_id}@{self.peer_id}"
+
+
+class StreamDefinitionDatabase:
+    """Publish and query stream descriptions over the DHT-backed index."""
+
+    def __init__(self, index: KadopIndex | None = None) -> None:
+        self.index = index if index is not None else KadopIndex()
+        self.streams_published = 0
+        self.replicas_published = 0
+
+    # -- publication ---------------------------------------------------------------
+
+    def describe_node(
+        self,
+        node: PlanNode,
+        peer_id: str,
+        stream_id: str,
+        operand_streams: list[tuple[str, str]],
+        is_channel: bool = True,
+        avg_volume: float = 0.0,
+    ) -> Element:
+        """Build the ``<Stream>`` description of a deployed plan node."""
+        operator_name = OPERATOR_NAMES.get(node.kind)
+        if node.kind == ALERTER:
+            operator_name = node.params.get("alerter", "alerter")
+        if operator_name is None:
+            raise ValueError(f"plan node of kind {node.kind!r} does not produce a stream")
+        operator = Element("Operator", children=[
+            Element(operator_name, {"spec": operator_spec(node)})
+        ])
+        operands = Element("Operands", children=[
+            Element("Operand", {"OPeerId": op_peer, "OStreamId": op_stream})
+            for op_peer, op_stream in operand_streams
+        ])
+        stats = Element("Stats", {"avgVolume": f"{avg_volume:.1f}"})
+        return Element(
+            "Stream",
+            {
+                "PeerId": peer_id,
+                "StreamId": stream_id,
+                "isAChannel": "true" if is_channel else "false",
+            },
+            [operator, operands, stats],
+        )
+
+    def publish_stream(self, description: Element) -> str:
+        """Store a ``<Stream>`` description; returns its document id."""
+        if description.tag != "Stream":
+            raise ValueError("expected a <Stream> description")
+        self.streams_published += 1
+        doc_id = f"stream:{description.attrib['StreamId']}@{description.attrib['PeerId']}"
+        self.index.publish(description, doc_id)
+        return doc_id
+
+    def publish_node(
+        self,
+        node: PlanNode,
+        peer_id: str,
+        stream_id: str,
+        operand_streams: list[tuple[str, str]],
+        is_channel: bool = True,
+    ) -> str:
+        """Describe and publish a deployed node's output stream."""
+        description = self.describe_node(node, peer_id, stream_id, operand_streams, is_channel)
+        return self.publish_stream(description)
+
+    def publish_replica(
+        self, peer_id: str, stream_id: str, replica_peer_id: str, replica_stream_id: str
+    ) -> str:
+        """Declare that ``replica_peer_id`` can also provide ``stream_id@peer_id``."""
+        self.replicas_published += 1
+        description = Element(
+            "InChannel",
+            {
+                "PeerId": peer_id,
+                "StreamId": stream_id,
+                "ReplicaPeerId": replica_peer_id,
+                "ReplicaStreamId": replica_stream_id,
+            },
+        )
+        doc_id = f"replica:{replica_stream_id}@{replica_peer_id}"
+        self.index.publish(description, doc_id)
+        return doc_id
+
+    # -- queries (the ones of Section 5) -------------------------------------------------
+
+    def find_alerter_streams(self, peer_id: str, alerter_kind: str) -> list[StreamDescription]:
+        """``/Stream[@PeerId = $p1][Operator/inCom]`` and friends."""
+        query = f"/Stream[@PeerId = '{peer_id}'][Operator/{alerter_kind}]"
+        return [self._decode(doc) for _, doc in self.index.query(query)]
+
+    def find_operator_streams(
+        self,
+        operator: str,
+        spec: str | None,
+        operands: list[tuple[str, str]],
+    ) -> list[StreamDescription]:
+        """Find streams computing ``operator`` over exactly the given operands."""
+        spec_predicate = f"[@spec = '{spec}']" if spec else ""
+        predicates = "".join(
+            f"[Operands/Operand[@OPeerId='{peer}'][@OStreamId='{stream}']]"
+            for peer, stream in operands
+        )
+        query = f"/Stream[Operator/{operator}{spec_predicate}]{predicates}"
+        candidates = [self._decode(doc) for _, doc in self.index.query(query)]
+        # exact operand-set match: the query guarantees inclusion, not equality
+        wanted = sorted(operands)
+        return [c for c in candidates if sorted(c.operands) == wanted]
+
+    def find_replicas(self, peer_id: str, stream_id: str) -> list[tuple[str, str]]:
+        """Replica providers of ``stream_id@peer_id`` as (peer, stream) pairs."""
+        query = f"/InChannel[@PeerId = '{peer_id}'][@StreamId = '{stream_id}']"
+        return [
+            (doc.attrib["ReplicaPeerId"], doc.attrib["ReplicaStreamId"])
+            for _, doc in self.index.query(query)
+        ]
+
+    def all_stream_descriptions(self) -> list[StreamDescription]:
+        return [self._decode(doc) for _, doc in self.index.query("/Stream")]
+
+    # -- decoding -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _decode(document: Element) -> StreamDescription:
+        operator_element = document.find("Operator")
+        operator_child = operator_element.children[0] if operator_element and operator_element.children else None
+        operands_element = document.find("Operands")
+        operands = tuple(
+            (operand.attrib["OPeerId"], operand.attrib["OStreamId"])
+            for operand in (operands_element.children if operands_element else [])
+        )
+        return StreamDescription(
+            peer_id=document.attrib["PeerId"],
+            stream_id=document.attrib["StreamId"],
+            is_channel=document.attrib.get("isAChannel") == "true",
+            operator=operator_child.tag if operator_child is not None else "",
+            spec=operator_child.attrib.get("spec", "") if operator_child is not None else "",
+            operands=operands,
+        )

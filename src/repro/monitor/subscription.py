@@ -1,0 +1,66 @@
+"""Subscriptions and the per-peer Subscription Database.
+
+"A peer keeps the information about all subscriptions under his
+responsibility in a database named Subscription Database." (Section 3.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.plan import PlanNode
+from repro.p2pml.ast import SubscriptionAST
+
+#: Lifecycle states of a subscription.
+PENDING = "pending"
+DEPLOYED = "deployed"
+CANCELLED = "cancelled"
+
+
+@dataclass
+class Subscription:
+    """One monitoring subscription managed by a peer."""
+
+    sub_id: str
+    text: str | None
+    ast: SubscriptionAST
+    plan: PlanNode | None = None
+    status: str = PENDING
+    manager_peer: str | None = None
+    notes: dict[str, object] = field(default_factory=dict)
+
+
+class SubscriptionDatabase:
+    """All subscriptions a Subscription Manager is responsible for."""
+
+    def __init__(self) -> None:
+        self._subscriptions: dict[str, Subscription] = {}
+        self._counter = 0
+
+    def new_id(self, prefix: str = "sub") -> str:
+        self._counter += 1
+        return f"{prefix}-{self._counter}"
+
+    def add(self, subscription: Subscription) -> None:
+        if subscription.sub_id in self._subscriptions:
+            raise ValueError(f"subscription {subscription.sub_id!r} already registered")
+        self._subscriptions[subscription.sub_id] = subscription
+
+    def get(self, sub_id: str) -> Subscription:
+        return self._subscriptions[sub_id]
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._subscriptions
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    @property
+    def subscription_ids(self) -> list[str]:
+        return sorted(self._subscriptions)
+
+    def with_status(self, status: str) -> list[Subscription]:
+        return [sub for sub in self._subscriptions.values() if sub.status == status]
+
+    def mark(self, sub_id: str, status: str) -> None:
+        self._subscriptions[sub_id].status = status

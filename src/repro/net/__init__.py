@@ -1,0 +1,34 @@
+"""Deterministic simulated P2P network substrate.
+
+The paper's P2PM peers are Java Web applications exchanging SOAP messages.
+Our reproduction replaces the transport with an in-process, deterministic
+simulator so that experiments measuring *communication* (messages, bytes,
+latency, per-peer load) are exactly reproducible on one machine:
+
+* :class:`repro.net.SimNetwork` -- event-queue based message delivery with a
+  simulated clock and per-link latency derived from peer coordinates.
+* :class:`repro.net.Peer` -- a network endpoint with typed message handlers,
+  local streams and channel publication / subscription.
+* :class:`repro.net.Channel` -- the paper's (peerID, streamID, subscribers)
+  triple: a published stream that remote peers can subscribe to.
+* :class:`repro.net.stats` -- counters used by the benchmarks.
+"""
+
+from repro.net.errors import NetworkError, UnknownPeerError
+from repro.net.simnet import Message, SimNetwork
+from repro.net.peer import Peer
+from repro.net.channel import Channel, ChannelRegistry, RemoteChannelProxy
+from repro.net.stats import LinkStats, NetworkStats
+
+__all__ = [
+    "NetworkError",
+    "UnknownPeerError",
+    "Message",
+    "SimNetwork",
+    "Peer",
+    "Channel",
+    "ChannelRegistry",
+    "RemoteChannelProxy",
+    "LinkStats",
+    "NetworkStats",
+]

@@ -1,0 +1,180 @@
+"""Channels: published streams that remote peers can subscribe to.
+
+"A channel is defined by a tuple (peerID, streamID, subscribers), where
+peerID is the peer that published this particular stream as a channel and
+subscribers is the set of peers interested in it." (Section 3.2)
+
+The publishing side is a :class:`Channel` attached to a local
+:class:`~repro.streams.Stream`; every emitted item is forwarded over the
+simulated network to each subscriber.  The subscribing side receives items
+into a :class:`RemoteChannelProxy`, which is itself a local stream, so
+downstream operators cannot tell a remote stream from a local one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.net.errors import UnknownChannelError
+from repro.streams.item import is_eos
+from repro.streams.stream import Stream
+from repro.xmlmodel.tree import Element
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.peer import Peer
+
+#: Message kinds used by the channel machinery.
+MSG_SUBSCRIBE = "channel.subscribe"
+MSG_UNSUBSCRIBE = "channel.unsubscribe"
+MSG_ITEM = "channel.item"
+MSG_EOS = "channel.eos"
+
+
+@dataclass
+class Channel:
+    """A stream published by ``peer_id`` under the name ``channel_id``."""
+
+    peer_id: str
+    channel_id: str
+    stream: Stream
+    subscribers: set[str] = field(default_factory=set)
+
+    @property
+    def qualified_id(self) -> str:
+        return f"#{self.channel_id}@{self.peer_id}"
+
+
+class RemoteChannelProxy(Stream):
+    """Local stream mirroring a channel published at another peer."""
+
+    def __init__(self, publisher_id: str, channel_id: str, local_peer_id: str) -> None:
+        super().__init__(stream_id=f"#{channel_id}", peer_id=local_peer_id)
+        self.publisher_id = publisher_id
+        self.channel_id = channel_id
+
+
+class ChannelRegistry:
+    """Per-peer registry of published channels and remote subscriptions."""
+
+    def __init__(self, peer: "Peer") -> None:
+        self._peer = peer
+        self._published: dict[str, Channel] = {}
+        self._proxies: dict[tuple[str, str], RemoteChannelProxy] = {}
+        peer.register_handler(MSG_SUBSCRIBE, self._on_subscribe)
+        peer.register_handler(MSG_UNSUBSCRIBE, self._on_unsubscribe)
+        peer.register_handler(MSG_ITEM, self._on_item)
+        peer.register_handler(MSG_EOS, self._on_eos)
+
+    # -- publishing side -----------------------------------------------------
+
+    def publish(self, channel_id: str, stream: Stream) -> Channel:
+        """Publish ``stream`` as a channel named ``channel_id``."""
+        if channel_id in self._published:
+            raise ValueError(
+                f"peer {self._peer.peer_id!r} already publishes channel {channel_id!r}"
+            )
+        channel = Channel(self._peer.peer_id, channel_id, stream)
+        self._published[channel_id] = channel
+        stream.subscribe(lambda item: self._forward(channel, item))
+        return channel
+
+    def published(self, channel_id: str) -> Channel:
+        try:
+            return self._published[channel_id]
+        except KeyError as exc:
+            raise UnknownChannelError(
+                f"peer {self._peer.peer_id!r} does not publish channel {channel_id!r}"
+            ) from exc
+
+    def publishes(self, channel_id: str) -> bool:
+        return channel_id in self._published
+
+    @property
+    def published_ids(self) -> list[str]:
+        return sorted(self._published)
+
+    def _forward(self, channel: Channel, item: object) -> None:
+        if is_eos(item):
+            payload = Element("channelEos", {"channelId": channel.channel_id})
+            for subscriber in sorted(channel.subscribers):
+                self._peer.send(subscriber, MSG_EOS, payload)
+            return
+        assert isinstance(item, Element)
+        for subscriber in sorted(channel.subscribers):
+            payload = Element(
+                "channelItem",
+                {"channelId": channel.channel_id, "publisher": channel.peer_id},
+                [item.copy()],
+            )
+            self._peer.send(subscriber, MSG_ITEM, payload)
+
+    # -- subscribing side -----------------------------------------------------
+
+    def subscribe_remote(self, publisher_id: str, channel_id: str) -> RemoteChannelProxy:
+        """Subscribe to ``#channel_id@publisher_id`` and return the local proxy."""
+        key = (publisher_id, channel_id)
+        if key in self._proxies:
+            return self._proxies[key]
+        proxy = RemoteChannelProxy(publisher_id, channel_id, self._peer.peer_id)
+        self._proxies[key] = proxy
+        if publisher_id == self._peer.peer_id:
+            # Local shortcut: wire the proxy straight to the underlying stream,
+            # without adding self to the subscriber set (which would cause
+            # self-addressed network messages and double delivery).
+            channel = self.published(channel_id)
+            channel.stream.subscribe(proxy.push)
+        else:
+            request = Element(
+                "subscribe",
+                {"channelId": channel_id, "subscriber": self._peer.peer_id},
+            )
+            self._peer.send(publisher_id, MSG_SUBSCRIBE, request)
+        return proxy
+
+    def unsubscribe_remote(self, publisher_id: str, channel_id: str) -> None:
+        key = (publisher_id, channel_id)
+        self._proxies.pop(key, None)
+        if publisher_id != self._peer.peer_id:
+            request = Element(
+                "unsubscribe",
+                {"channelId": channel_id, "subscriber": self._peer.peer_id},
+            )
+            self._peer.send(publisher_id, MSG_UNSUBSCRIBE, request)
+
+    def proxy(self, publisher_id: str, channel_id: str) -> RemoteChannelProxy:
+        try:
+            return self._proxies[(publisher_id, channel_id)]
+        except KeyError as exc:
+            raise UnknownChannelError(
+                f"peer {self._peer.peer_id!r} has no subscription to "
+                f"#{channel_id}@{publisher_id}"
+            ) from exc
+
+    # -- message handlers ------------------------------------------------------
+
+    def _on_subscribe(self, message) -> None:
+        channel_id = message.payload.attrib["channelId"]
+        subscriber = message.payload.attrib["subscriber"]
+        channel = self.published(channel_id)
+        channel.subscribers.add(subscriber)
+
+    def _on_unsubscribe(self, message) -> None:
+        channel_id = message.payload.attrib["channelId"]
+        subscriber = message.payload.attrib["subscriber"]
+        if channel_id in self._published:
+            self._published[channel_id].subscribers.discard(subscriber)
+
+    def _on_item(self, message) -> None:
+        channel_id = message.payload.attrib["channelId"]
+        publisher = message.payload.attrib["publisher"]
+        proxy = self._proxies.get((publisher, channel_id))
+        if proxy is None or proxy.closed:
+            return  # late item for an unsubscribed/closed proxy: drop it
+        proxy.emit(message.payload.children[0])
+
+    def _on_eos(self, message) -> None:
+        channel_id = message.payload.attrib["channelId"]
+        proxy = self._proxies.get((message.source, channel_id))
+        if proxy is not None:
+            proxy.close()

@@ -1,0 +1,13 @@
+"""Exceptions raised by the network substrate."""
+
+
+class NetworkError(RuntimeError):
+    """Base class for network-level failures."""
+
+
+class UnknownPeerError(NetworkError):
+    """Raised when sending to or looking up a peer that is not registered."""
+
+
+class UnknownChannelError(NetworkError):
+    """Raised when subscribing to a channel that the peer does not publish."""

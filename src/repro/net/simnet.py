@@ -1,0 +1,196 @@
+"""Deterministic event-queue network simulator.
+
+Peers register with the network; sending a message schedules a delivery
+event at ``now + latency(source, destination)``.  Events are processed in
+(time, sequence) order, so a run is fully deterministic given the same
+inputs and seed.  Latency is derived from peer coordinates on a unit square
+(assigned from a seeded RNG unless given explicitly), which also gives the
+"networkwise close" notion used by replica selection in Section 5.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.errors import UnknownPeerError
+from repro.net.stats import NetworkStats
+from repro.xmlmodel.tree import Element
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.peer import Peer
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight between two peers."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: Element
+    size: int
+    sent_at: float
+    deliver_at: float
+
+
+@dataclass(order=True)
+class _Event:
+    deliver_at: float
+    sequence: int
+    message: Message = field(compare=False)
+
+
+class SimNetwork:
+    """The simulated network connecting all peers of a scenario.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the network's RNG (peer coordinates, workload helpers).
+    base_latency:
+        Fixed per-message latency added to the coordinate distance.
+    """
+
+    def __init__(self, seed: int = 0, base_latency: float = 0.001) -> None:
+        self.random = random.Random(seed)
+        self.base_latency = base_latency
+        self.now = 0.0
+        self.stats = NetworkStats()
+        self._peers: dict[str, "Peer"] = {}
+        self._coordinates: dict[str, tuple[float, float]] = {}
+        self._queue: list[_Event] = []
+        self._sequence = 0
+        self._trace: list[Message] = []
+        self.trace_enabled = False
+
+    # ------------------------------------------------------------------ #
+    # Peer management
+    # ------------------------------------------------------------------ #
+
+    def register(self, peer: "Peer", coordinates: tuple[float, float] | None = None) -> None:
+        """Add ``peer`` to the network, assigning coordinates if not given."""
+        if peer.peer_id in self._peers:
+            raise ValueError(f"peer {peer.peer_id!r} is already registered")
+        self._peers[peer.peer_id] = peer
+        if coordinates is None:
+            coordinates = (self.random.random(), self.random.random())
+        self._coordinates[peer.peer_id] = coordinates
+
+    def unregister(self, peer_id: str) -> None:
+        """Remove a peer (simulates the peer leaving the network)."""
+        self._peers.pop(peer_id, None)
+        self._coordinates.pop(peer_id, None)
+
+    def peer(self, peer_id: str) -> "Peer":
+        try:
+            return self._peers[peer_id]
+        except KeyError as exc:
+            raise UnknownPeerError(f"unknown peer {peer_id!r}") from exc
+
+    def has_peer(self, peer_id: str) -> bool:
+        return peer_id in self._peers
+
+    @property
+    def peer_ids(self) -> list[str]:
+        return sorted(self._peers)
+
+    def coordinates(self, peer_id: str) -> tuple[float, float]:
+        try:
+            return self._coordinates[peer_id]
+        except KeyError as exc:
+            raise UnknownPeerError(f"unknown peer {peer_id!r}") from exc
+
+    def distance(self, peer_a: str, peer_b: str) -> float:
+        """Euclidean distance between two peers' coordinates."""
+        ax, ay = self.coordinates(peer_a)
+        bx, by = self.coordinates(peer_b)
+        return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+
+    def latency(self, source: str, destination: str) -> float:
+        if source == destination:
+            return 0.0
+        return self.base_latency + self.distance(source, destination) / 100.0
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, source: str, destination: str, kind: str, payload: Element) -> Message:
+        """Queue a message for delivery; returns the scheduled message."""
+        if destination not in self._peers:
+            raise UnknownPeerError(f"cannot send to unknown peer {destination!r}")
+        if source not in self._peers:
+            raise UnknownPeerError(f"cannot send from unknown peer {source!r}")
+        size = payload.weight()
+        message = Message(
+            source=source,
+            destination=destination,
+            kind=kind,
+            payload=payload,
+            size=size,
+            sent_at=self.now,
+            deliver_at=self.now + self.latency(source, destination),
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, _Event(message.deliver_at, self._sequence, message))
+        self.stats.record(source, destination, size)
+        if self.trace_enabled:
+            self._trace.append(message)
+        return message
+
+    @property
+    def pending_messages(self) -> int:
+        return len(self._queue)
+
+    @property
+    def trace(self) -> list[Message]:
+        return list(self._trace)
+
+    def step(self) -> bool:
+        """Deliver the next queued message.  Returns False when idle."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.now = max(self.now, event.deliver_at)
+        message = event.message
+        peer = self._peers.get(message.destination)
+        if peer is not None:  # peer may have left while the message was in flight
+            peer.handle_message(message)
+        return True
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Deliver messages until the queue drains (or ``max_steps`` is hit).
+
+        Handlers may send further messages; those are processed too.  Returns
+        the number of messages delivered.
+        """
+        delivered = 0
+        while self._queue:
+            if max_steps is not None and delivered >= max_steps:
+                break
+            if self.step():
+                delivered += 1
+        return delivered
+
+    def advance(self, duration: float) -> None:
+        """Advance the simulated clock without delivering messages."""
+        if duration < 0:
+            raise ValueError("cannot advance time backwards")
+        self.now += duration
+
+
+def broadcast(
+    network: SimNetwork,
+    source: str,
+    destinations: list[str],
+    kind: str,
+    payload: Element,
+) -> list[Message]:
+    """Send the same payload from ``source`` to every destination."""
+    return [network.send(source, dest, kind, payload) for dest in destinations]
+
+
+MessageHandler = Callable[[Message], None]

@@ -1,0 +1,82 @@
+"""Communication accounting for the simulated network.
+
+The optimisation questions the paper cares about -- "save on data transfers",
+"balance the load", "select a provider that is close and not overloaded" --
+are all answered by reading these counters after running a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LinkStats:
+    """Counters for one directed (source, destination) pair."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated counters for the whole simulated network."""
+
+    total_messages: int = 0
+    total_bytes: int = 0
+    links: dict[tuple[str, str], LinkStats] = field(default_factory=dict)
+    per_peer_sent: dict[str, int] = field(default_factory=dict)
+    per_peer_received: dict[str, int] = field(default_factory=dict)
+
+    def record(self, source: str, destination: str, size: int) -> None:
+        self.total_messages += 1
+        self.total_bytes += size
+        link = self.links.setdefault((source, destination), LinkStats())
+        link.record(size)
+        self.per_peer_sent[source] = self.per_peer_sent.get(source, 0) + 1
+        self.per_peer_received[destination] = (
+            self.per_peer_received.get(destination, 0) + 1
+        )
+
+    def bytes_between(self, source: str, destination: str) -> int:
+        link = self.links.get((source, destination))
+        return link.bytes if link else 0
+
+    def messages_between(self, source: str, destination: str) -> int:
+        link = self.links.get((source, destination))
+        return link.messages if link else 0
+
+    def bytes_sent_by(self, peer_id: str) -> int:
+        return sum(
+            stats.bytes for (src, _), stats in self.links.items() if src == peer_id
+        )
+
+    def bytes_received_by(self, peer_id: str) -> int:
+        return sum(
+            stats.bytes for (_, dst), stats in self.links.items() if dst == peer_id
+        )
+
+    def busiest_peer(self) -> str | None:
+        """Peer with the highest number of sent+received messages."""
+        load: dict[str, int] = {}
+        for peer, count in self.per_peer_sent.items():
+            load[peer] = load.get(peer, 0) + count
+        for peer, count in self.per_peer_received.items():
+            load[peer] = load.get(peer, 0) + count
+        if not load:
+            return None
+        return max(load, key=lambda peer: (load[peer], peer))
+
+    def reset(self) -> None:
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.links.clear()
+        self.per_peer_sent.clear()
+        self.per_peer_received.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        return {"messages": self.total_messages, "bytes": self.total_bytes}

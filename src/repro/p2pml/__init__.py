@@ -1,0 +1,52 @@
+"""P2PML -- the Peer-to-Peer Monitor Language (Section 2).
+
+A subscription is a declarative statement with five clauses::
+
+    for $c1 in outCOM(<p>http://a.com</p> <p>http://b.com</p>),
+        $c2 in inCOM(<p>http://meteo.com</p>)
+    let $duration := $c1.responseTimestamp - $c1.callTimestamp
+    where $duration > 10 and
+          $c1.callMethod = "GetTemperature" and
+          $c1.callee = "http://meteo.com" and
+          $c1.callId = $c2.callId
+    return <incident type="slowAnswer">
+             <client>{$c1.caller}</client>
+             <tstamp>{$c2.callTimestamp}</tstamp>
+           </incident>
+    by publish as channel "alertQoS";
+
+:func:`parse_subscription` turns the text into an AST and
+:func:`compile_subscription` turns the AST into an algebraic monitoring plan
+(a :class:`repro.algebra.PlanNode` tree) with selections already pushed next
+to their sources.
+"""
+
+from repro.p2pml.errors import P2PMLCompileError, P2PMLSyntaxError
+from repro.p2pml.ast import (
+    AlerterSource,
+    ByClause,
+    Condition,
+    ForBinding,
+    LetDefinition,
+    NestedSource,
+    Operand,
+    SubscriptionAST,
+)
+from repro.p2pml.parser import parse_subscription
+from repro.p2pml.compiler import compile_subscription, compile_text
+
+__all__ = [
+    "P2PMLCompileError",
+    "P2PMLSyntaxError",
+    "AlerterSource",
+    "ByClause",
+    "Condition",
+    "ForBinding",
+    "LetDefinition",
+    "NestedSource",
+    "Operand",
+    "SubscriptionAST",
+    "parse_subscription",
+    "compile_subscription",
+    "compile_text",
+]

@@ -1,0 +1,19 @@
+"""Errors raised while parsing or compiling P2PML subscriptions."""
+
+
+class P2PMLSyntaxError(ValueError):
+    """The subscription text is not valid P2PML."""
+
+    def __init__(self, message: str, position: int | None = None, source: str | None = None):
+        if position is not None and source is not None:
+            line = source.count("\n", 0, position) + 1
+            column = position - (source.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {column})"
+            self.line = line
+            self.column = column
+        super().__init__(message)
+        self.position = position
+
+
+class P2PMLCompileError(ValueError):
+    """The subscription is well-formed but cannot be compiled into a plan."""

@@ -1,0 +1,185 @@
+"""Tokenizer for P2PML.
+
+The lexer is *pull-based*: the parser asks for one token at a time, which
+lets the parser switch to XML mode (``read_xml_fragment``) when a clause
+embeds an XML fragment (alerter arguments, the RETURN template) and to
+path mode (``read_path_tail``) for XPath operands inside WHERE conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.p2pml.errors import P2PMLSyntaxError
+from repro.xmlmodel.parse import _Parser as _XMLParser
+from repro.xmlmodel.tree import Element
+
+KEYWORDS = {
+    "for",
+    "in",
+    "let",
+    "where",
+    "and",
+    "or",
+    "return",
+    "distinct",
+    "by",
+    "publish",
+    "as",
+    "channel",
+    "email",
+    "file",
+    "rss",
+    "webpage",
+    "subscribe",
+}
+
+# multi-character symbols first so they win over single-character ones
+_SYMBOLS = (":=", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", ";", ".", "#", "@", "+", "-")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str  # "keyword" | "ident" | "var" | "string" | "number" | "symbol" | "eof"
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type == "keyword" and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type == "symbol" and self.value == symbol
+
+
+class Lexer:
+    """Pull-based tokenizer over a P2PML subscription text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    # -- helpers ----------------------------------------------------------------
+
+    def error(self, message: str, position: int | None = None) -> P2PMLSyntaxError:
+        return P2PMLSyntaxError(message, position if position is not None else self.pos, self.source)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif self.source.startswith("%", self.pos):
+                # '%' starts a comment running to end of line (as in the paper's listings)
+                end = self.source.find("\n", self.pos)
+                self.pos = len(self.source) if end == -1 else end + 1
+            else:
+                return
+
+    # -- token production -----------------------------------------------------------
+
+    def peek(self) -> Token:
+        saved = self.pos
+        token = self.next()
+        self.pos = saved
+        return token
+
+    def next(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.source):
+            return Token("eof", "", self.pos)
+        start = self.pos
+        char = self.source[start]
+
+        if char == "$":
+            self.pos += 1
+            name = self._read_name()
+            if not name:
+                raise self.error("expected a variable name after '$'", start)
+            return Token("var", name, start)
+
+        if char in "'\"":
+            end = self.source.find(char, start + 1)
+            if end == -1:
+                raise self.error("unterminated string literal", start)
+            self.pos = end + 1
+            return Token("string", self.source[start + 1 : end], start)
+
+        if char.isdigit():
+            self.pos += 1
+            while self.pos < len(self.source) and (
+                self.source[self.pos].isdigit() or self.source[self.pos] == "."
+            ):
+                self.pos += 1
+            return Token("number", self.source[start : self.pos], start)
+
+        for symbol in _SYMBOLS:
+            if self.source.startswith(symbol, start):
+                self.pos = start + len(symbol)
+                return Token("symbol", symbol, start)
+
+        if char.isalpha() or char == "_":
+            name = self._read_name()
+            if name.lower() in KEYWORDS:
+                return Token("keyword", name.lower(), start)
+            return Token("ident", name, start)
+
+        raise self.error(f"unexpected character {char!r}")
+
+    def _read_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if char.isalnum() or char in "_-":
+                self.pos += 1
+            else:
+                break
+        return self.source[start : self.pos]
+
+    # -- mode switches -------------------------------------------------------------------
+
+    def at_xml_fragment(self) -> bool:
+        """True when the next non-space character starts an XML element."""
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.source) or self.source[self.pos] != "<":
+            return False
+        nxt = self.source[self.pos + 1 : self.pos + 2]
+        return bool(nxt) and (nxt.isalpha() or nxt in "_")
+
+    def read_xml_fragment(self) -> Element:
+        """Parse one balanced XML element starting at the current position."""
+        self._skip_whitespace_and_comments()
+        parser = _XMLParser(self.source)
+        parser.pos = self.pos
+        try:
+            element = parser.parse_element()
+        except Exception as exc:  # XMLParseError carries its own location info
+            raise self.error(f"invalid XML fragment: {exc}", self.pos) from exc
+        self.pos = parser.pos
+        return element
+
+    def read_path_tail(self) -> str:
+        """Read an XPath tail (``/step[...]...``) starting at the current position.
+
+        Consumes characters until a whitespace, comma, closing parenthesis or
+        semicolon at bracket depth zero.
+        """
+        start = self.pos
+        depth = 0
+        in_string: str | None = None
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if in_string:
+                if char == in_string:
+                    in_string = None
+            elif char in "'\"":
+                in_string = char
+            elif char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif depth == 0 and (char in " \t\r\n,;)" or char == "{" or char == "}"):
+                break
+            self.pos += 1
+        if in_string:
+            raise self.error("unterminated string inside path expression", start)
+        return self.source[start : self.pos]

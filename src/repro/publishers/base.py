@@ -1,0 +1,39 @@
+"""Common behaviour of publishers (stream sinks)."""
+
+from __future__ import annotations
+
+from repro.streams.item import is_eos
+from repro.streams.stream import Stream
+from repro.xmlmodel.tree import Element
+
+
+class Publisher:
+    """Base class: consumes a stream and exposes it in some external form."""
+
+    mode = "publisher"
+
+    def __init__(self) -> None:
+        self.items_published = 0
+        self.closed = False
+
+    def connect(self, stream: Stream) -> "Publisher":
+        stream.subscribe(self._receive)
+        return self
+
+    def _receive(self, item: object) -> None:
+        if is_eos(item):
+            self.closed = True
+            self.on_close()
+            return
+        assert isinstance(item, Element)
+        self.items_published += 1
+        self.publish(item)
+
+    def publish(self, item: Element) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_close(self) -> None:
+        """Hook called when the input stream terminates."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(items={self.items_published})"

@@ -1,0 +1,65 @@
+"""File and Web-page publishers.
+
+``FilePublisher`` appends every result to an XML log document (optionally
+persisted to disk); ``WebPagePublisher`` maintains a small XHTML page whose
+body lists the most recent results, newest first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.publishers.base import Publisher
+from repro.xmlmodel.serialize import pretty_xml
+from repro.xmlmodel.tree import Element
+
+
+class FilePublisher(Publisher):
+    """Collects results into an XML document, optionally written to disk."""
+
+    mode = "file"
+
+    def __init__(self, path: str | Path | None = None, root_tag: str = "results") -> None:
+        super().__init__()
+        self.path = Path(path) if path is not None else None
+        self.document = Element(root_tag)
+
+    def publish(self, item: Element) -> None:
+        self.document.append(item.copy())
+        if self.path is not None:
+            self.path.write_text(pretty_xml(self.document), encoding="utf-8")
+
+    def on_close(self) -> None:
+        if self.path is not None:
+            self.path.write_text(pretty_xml(self.document), encoding="utf-8")
+
+
+class WebPagePublisher(Publisher):
+    """Maintains an XHTML page listing the latest results."""
+
+    mode = "webpage"
+
+    def __init__(self, title: str, max_entries: int = 20, path: str | Path | None = None) -> None:
+        super().__init__()
+        self.title = title
+        self.max_entries = max_entries
+        self.path = Path(path) if path is not None else None
+        self._entries: list[Element] = []
+
+    def publish(self, item: Element) -> None:
+        self._entries.insert(0, item.copy())
+        del self._entries[self.max_entries :]
+        if self.path is not None:
+            self.path.write_text(pretty_xml(self.page()), encoding="utf-8")
+
+    def page(self) -> Element:
+        """The current XHTML page."""
+        body = Element("body", children=[Element("h1", text=self.title)])
+        items = Element("ul")
+        for entry in self._entries:
+            items.append(Element("li", children=[entry.copy()]))
+        body.append(items)
+        return Element("html", children=[
+            Element("head", children=[Element("title", text=self.title)]),
+            body,
+        ])

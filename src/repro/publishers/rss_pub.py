@@ -1,0 +1,42 @@
+"""RSS publisher: exposes a result stream as an RSS feed."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.publishers.base import Publisher
+from repro.xmlmodel.serialize import pretty_xml
+from repro.xmlmodel.tree import Element
+
+
+class RSSPublisher(Publisher):
+    """Maintains an RSS document with one ``<item>`` per published result."""
+
+    mode = "rss"
+
+    def __init__(self, title: str, max_items: int = 50, path: str | Path | None = None) -> None:
+        super().__init__()
+        self.title = title
+        self.max_items = max_items
+        self.path = Path(path) if path is not None else None
+        self._items: list[Element] = []
+        self._sequence = 0
+
+    def publish(self, item: Element) -> None:
+        self._sequence += 1
+        entry = Element("item", children=[
+            Element("guid", text=f"{self.title}-{self._sequence}"),
+            Element("title", text=f"{item.tag} #{self._sequence}"),
+            Element("description", children=[item.copy()]),
+        ])
+        self._items.insert(0, entry)
+        del self._items[self.max_items :]
+        if self.path is not None:
+            self.path.write_text(pretty_xml(self.feed()), encoding="utf-8")
+
+    def feed(self) -> Element:
+        """The current RSS document."""
+        channel = Element("channel", children=[Element("title", text=self.title)])
+        for item in self._items:
+            channel.append(item.copy())
+        return Element("rss", {"version": "2.0"}, [channel])

@@ -1,0 +1,14 @@
+"""Streams of XML trees -- the central data abstraction of P2PM."""
+
+from repro.streams.item import EOS, EndOfStream, is_eos
+from repro.streams.stream import Stream, StreamClosedError, StreamStats, collect
+
+__all__ = [
+    "EOS",
+    "EndOfStream",
+    "is_eos",
+    "Stream",
+    "StreamClosedError",
+    "StreamStats",
+    "collect",
+]

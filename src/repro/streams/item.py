@@ -1,0 +1,35 @@
+"""Stream items and the end-of-stream marker.
+
+An XML stream is "a possibly infinite sequence of XML trees.  A particular
+symbol eos may be considered to denote the termination of the stream"
+(Section 3.2).  Items are plain :class:`repro.xmlmodel.Element` trees; the
+``EOS`` sentinel terminates a stream.
+"""
+
+from __future__ import annotations
+
+
+class EndOfStream:
+    """Singleton sentinel marking stream termination."""
+
+    _instance: "EndOfStream | None" = None
+
+    def __new__(cls) -> "EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "EOS"
+
+    def __reduce__(self):  # keep singleton identity across copy/pickle
+        return (EndOfStream, ())
+
+
+#: The end-of-stream marker shared by all streams.
+EOS = EndOfStream()
+
+
+def is_eos(item: object) -> bool:
+    """True when ``item`` is the end-of-stream marker."""
+    return isinstance(item, EndOfStream)

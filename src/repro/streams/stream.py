@@ -1,0 +1,142 @@
+"""Push-based streams with subscriber fan-out and accounting.
+
+A :class:`Stream` is the in-process representation of the paper's XML
+streams.  Producers (alerters, operators) call :meth:`Stream.emit`; every
+subscriber callback receives the item.  Cross-peer delivery is layered on
+top by :mod:`repro.net.channel`, which subscribes a forwarding callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.streams.item import EOS, is_eos
+from repro.xmlmodel.tree import Element
+
+Subscriber = Callable[[object], None]
+
+
+class StreamClosedError(RuntimeError):
+    """Raised when emitting on a stream that has already seen EOS."""
+
+
+@dataclass
+class StreamStats:
+    """Counters maintained per stream; benchmarks read these."""
+
+    items: int = 0
+    bytes: int = 0
+
+    def record(self, item: Element) -> None:
+        self.items += 1
+        self.bytes += item.weight()
+
+
+class Stream:
+    """A named, push-based stream of XML trees.
+
+    Parameters
+    ----------
+    stream_id:
+        Identifier of the stream, unique within its peer.
+    peer_id:
+        Identifier of the peer that produces the stream (may be ``None`` for
+        purely local streams used in tests).
+    keep_history:
+        When true, every emitted item is retained in :attr:`history`.  The
+        stateful Join operator and tests use this.
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        peer_id: str | None = None,
+        keep_history: bool = False,
+    ) -> None:
+        self.stream_id = stream_id
+        self.peer_id = peer_id
+        self.keep_history = keep_history
+        self.history: list[Element] = []
+        self.stats = StreamStats()
+        self.closed = False
+        self._subscribers: list[Subscriber] = []
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def qualified_id(self) -> str:
+        """``streamId@peerId`` -- how the paper denotes streams (s@p)."""
+        return f"{self.stream_id}@{self.peer_id or 'local'}"
+
+    # -- subscription ----------------------------------------------------------
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Register ``callback`` and return a function that unsubscribes it."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, item: Element) -> None:
+        """Push one XML tree to all subscribers."""
+        if self.closed:
+            raise StreamClosedError(f"stream {self.qualified_id} is closed")
+        if not isinstance(item, Element):
+            raise TypeError(f"stream items must be Elements, got {type(item).__name__}")
+        self.stats.record(item)
+        if self.keep_history:
+            self.history.append(item)
+        for subscriber in list(self._subscribers):
+            subscriber(item)
+
+    def emit_many(self, items: Iterable[Element]) -> None:
+        for item in items:
+            self.emit(item)
+
+    def close(self) -> None:
+        """Emit the end-of-stream marker and refuse further items."""
+        if self.closed:
+            return
+        self.closed = True
+        for subscriber in list(self._subscribers):
+            subscriber(EOS)
+
+    def push(self, item: object) -> None:
+        """Forward either an item or EOS (convenient for chaining streams)."""
+        if is_eos(item):
+            self.close()
+        else:
+            self.emit(item)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"Stream({self.qualified_id}, {state}, items={self.stats.items}, "
+            f"subscribers={len(self._subscribers)})"
+        )
+
+
+def collect(stream: Stream) -> list[Element]:
+    """Subscribe a list-collector to ``stream`` and return the (live) list.
+
+    Items emitted after the call are appended to the returned list; EOS is
+    not appended.  Heavily used by tests and examples.
+    """
+    sink: list[Element] = []
+
+    def _collector(item: object) -> None:
+        if not is_eos(item):
+            sink.append(item)  # type: ignore[arg-type]
+
+    stream.subscribe(_collector)
+    return sink

@@ -1,0 +1,31 @@
+"""Synthetic workloads standing in for the paper's monitored systems.
+
+The paper's experiments run against real systems (Axis SOAP services, live
+RSS feeds, the Edos/Mandriva distribution network).  None of those are
+available offline, so each is replaced by a seeded generator that produces
+the same *shape* of events and drives the same alerters:
+
+* :mod:`repro.workloads.soap_traffic` -- SOAP RPC call/response traffic
+  between peers (drives the WS alerters; the meteo QoS scenario).
+* :mod:`repro.workloads.rss_feeds` -- evolving RSS feeds (drives the RSS alerter).
+* :mod:`repro.workloads.webpages` -- evolving XHTML pages (WebPage alerter).
+* :mod:`repro.workloads.edos` -- an Edos-like package-distribution network
+  with downloads, queries and peer churn.
+* :mod:`repro.workloads.meteo` -- the end-to-end meteo QoS scenario of
+  Figure 1 / Figure 4 (three monitored peers plus a monitor peer).
+"""
+
+from repro.workloads.soap_traffic import SoapCall, SoapTrafficGenerator
+from repro.workloads.rss_feeds import RSSFeedSimulator
+from repro.workloads.webpages import WebPageSimulator
+from repro.workloads.edos import EdosNetwork
+from repro.workloads.meteo import MeteoScenario
+
+__all__ = [
+    "SoapCall",
+    "SoapTrafficGenerator",
+    "RSSFeedSimulator",
+    "WebPageSimulator",
+    "EdosNetwork",
+    "MeteoScenario",
+]

@@ -1,0 +1,48 @@
+"""Evolving XHTML pages with controlled change rates (drives the WebPage alerter)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlmodel.tree import Element
+
+
+class WebPageSimulator:
+    """A set of pages at one site; each tick rewrites a fraction of them."""
+
+    def __init__(self, site: str, n_pages: int = 5, change_rate: float = 0.3, seed: int = 0) -> None:
+        if n_pages <= 0:
+            raise ValueError("a site needs at least one page")
+        self.site = site
+        self.change_rate = change_rate
+        self.random = random.Random(seed)
+        self._versions: dict[str, int] = {f"{site}/page{i}": 0 for i in range(n_pages)}
+        self.changes_applied = 0
+
+    @property
+    def urls(self) -> list[str]:
+        return sorted(self._versions)
+
+    def tick(self) -> list[str]:
+        """Advance one step; returns the URLs that changed."""
+        changed = []
+        for url in self.urls:
+            if self.random.random() < self.change_rate:
+                self._versions[url] += 1
+                self.changes_applied += 1
+                changed.append(url)
+        return changed
+
+    def page(self, url: str) -> Element:
+        """The current content of ``url``."""
+        version = self._versions[url]
+        body = Element("body", children=[
+            Element("h1", text=url),
+            Element("p", {"id": "version"}, text=f"revision {version}"),
+            Element("p", {"id": "content"}, text=f"content of {url} at revision {version}"),
+        ])
+        return Element("html", children=[Element("head"), body])
+
+    def source_for(self, url: str):
+        """A provider callable suitable for :meth:`WebPageAlerter.watch`."""
+        return lambda: self.page(url)

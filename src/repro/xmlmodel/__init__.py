@@ -1,0 +1,49 @@
+"""XML data model used throughout P2PM.
+
+The monitored information travels through the system as streams of XML
+trees (stream items).  This package provides:
+
+* :mod:`repro.xmlmodel.tree` -- the :class:`Element` tree model.
+* :mod:`repro.xmlmodel.parse` -- a small, dependency-free XML parser.
+* :mod:`repro.xmlmodel.serialize` -- serialisation back to text.
+* :mod:`repro.xmlmodel.xpath` -- the XPath subset used by subscriptions,
+  the YFilter automaton and the Stream Definition Database.
+* :mod:`repro.xmlmodel.axml` -- ActiveXML documents (``sc`` service-call
+  elements) and their lazy materialisation.
+* :mod:`repro.xmlmodel.diff` -- snapshot diffing used by the Web page and
+  RSS alerters.
+"""
+
+from repro.xmlmodel.tree import Element, element, text_of
+from repro.xmlmodel.parse import parse_xml, XMLParseError
+from repro.xmlmodel.serialize import to_xml, pretty_xml
+from repro.xmlmodel.xpath import XPath, XPathError, xpath_matches, xpath_select
+from repro.xmlmodel.axml import (
+    ServiceCall,
+    ServiceRegistry,
+    is_service_call,
+    make_service_call,
+    materialize,
+)
+from repro.xmlmodel.diff import TreeDelta, diff_trees
+
+__all__ = [
+    "Element",
+    "element",
+    "text_of",
+    "parse_xml",
+    "XMLParseError",
+    "to_xml",
+    "pretty_xml",
+    "XPath",
+    "XPathError",
+    "xpath_matches",
+    "xpath_select",
+    "ServiceCall",
+    "ServiceRegistry",
+    "is_service_call",
+    "make_service_call",
+    "materialize",
+    "TreeDelta",
+    "diff_trees",
+]

@@ -1,0 +1,108 @@
+"""Snapshot diffing used by the Web page and RSS alerters.
+
+The paper's WebPage Alerter "detects changes in XML/XHTML pages by comparing
+their snapshots" and may report the delta; the RSS Feed Alerter attaches
+richer semantics (entry added / removed / modified).  Both use the same
+child-level diff implemented here: children of the two roots are aligned on
+an identity key (an attribute such as ``guid`` or the tag+title), and every
+child is classified as added, removed, modified or unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.xmlmodel.tree import Element
+
+KeyFunction = Callable[[Element], str]
+
+
+@dataclass
+class TreeDelta:
+    """The result of diffing two snapshots of a document."""
+
+    added: list[Element] = field(default_factory=list)
+    removed: list[Element] = field(default_factory=list)
+    modified: list[tuple[Element, Element]] = field(default_factory=list)
+    unchanged: list[Element] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.modified)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "added": len(self.added),
+            "removed": len(self.removed),
+            "modified": len(self.modified),
+            "unchanged": len(self.unchanged),
+        }
+
+    def to_element(self) -> Element:
+        """Encode the delta as an XML tree (what the alerter ships in alerts)."""
+        root = Element("delta", self.summary())
+        for node in self.added:
+            root.append(Element("added", children=[node.copy()]))
+        for node in self.removed:
+            root.append(Element("removed", children=[node.copy()]))
+        for old, new in self.modified:
+            root.append(
+                Element("modified", children=[
+                    Element("old", children=[old.copy()]),
+                    Element("new", children=[new.copy()]),
+                ])
+            )
+        return root
+
+
+def default_key(node: Element) -> str:
+    """Identity key for a child: prefer common id attributes, then an id-like
+    child element (``<guid>`` in RSS), then the title/link, then the text."""
+    for attr in ("id", "guid", "key", "href", "url"):
+        if attr in node.attrib:
+            return f"{node.tag}#{node.attrib[attr]}"
+    for child_tag in ("guid", "id"):
+        identifier = node.child_text(child_tag)
+        if identifier:
+            return f"{node.tag}#{identifier}"
+    title = node.child_text("title") or node.child_text("link")
+    if title:
+        return f"{node.tag}#{title}"
+    return f"{node.tag}#{node.text or ''}"
+
+
+def diff_trees(
+    old: Element, new: Element, key: KeyFunction | None = None
+) -> TreeDelta:
+    """Diff the children of two snapshots of the same document.
+
+    Children present only in ``new`` are *added*, only in ``old`` are
+    *removed*; children present in both but structurally different are
+    *modified*.  Duplicate keys are aligned positionally within the key group.
+    """
+    key = key or default_key
+    old_groups = _group_by_key(old, key)
+    new_groups = _group_by_key(new, key)
+    delta = TreeDelta()
+    for group_key, new_nodes in new_groups.items():
+        old_nodes = old_groups.get(group_key, [])
+        for index, new_node in enumerate(new_nodes):
+            if index >= len(old_nodes):
+                delta.added.append(new_node)
+            elif old_nodes[index] == new_node:
+                delta.unchanged.append(new_node)
+            else:
+                delta.modified.append((old_nodes[index], new_node))
+    for group_key, old_nodes in old_groups.items():
+        new_count = len(new_groups.get(group_key, []))
+        for node in old_nodes[new_count:]:
+            delta.removed.append(node)
+    return delta
+
+
+def _group_by_key(root: Element, key: KeyFunction) -> dict[str, list[Element]]:
+    groups: dict[str, list[Element]] = {}
+    for child in root.children:
+        groups.setdefault(key(child), []).append(child)
+    return groups

@@ -1,0 +1,51 @@
+"""Serialisation of :class:`Element` trees back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmlmodel.tree import Element
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def _escape(value: str, table: dict[str, str]) -> str:
+    out = value
+    for raw, escaped in table.items():
+        if raw in out:
+            out = out.replace(raw, escaped)
+    return out
+
+
+def to_xml(node: Element) -> str:
+    """Compact, single-line serialisation."""
+    parts: list[str] = []
+    _write(node, parts, indent=None, level=0)
+    return "".join(parts)
+
+
+def pretty_xml(node: Element, indent: str = "  ") -> str:
+    """Human-readable serialisation with newlines and indentation."""
+    parts: list[str] = []
+    _write(node, parts, indent=indent, level=0)
+    return "".join(parts)
+
+
+def _write(node: Element, parts: list[str], indent: str | None, level: int) -> None:
+    pad = "" if indent is None else indent * level
+    newline = "" if indent is None else "\n"
+    attrs = "".join(
+        f' {name}="{_escape(value, _ESCAPES_ATTR)}"'
+        for name, value in node.attrib.items()
+    )
+    if not node.children and node.text is None:
+        parts.append(f"{pad}<{node.tag}{attrs}/>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}{attrs}>")
+    if node.text is not None:
+        parts.append(_escape(node.text, _ESCAPES_TEXT))
+    if node.children:
+        parts.append(newline)
+        for child in node.children:
+            _write(child, parts, indent, level + 1)
+        parts.append(pad)
+    parts.append(f"</{node.tag}>{newline}")

@@ -1,0 +1,210 @@
+"""Ordered, attribute-carrying XML tree model.
+
+The model is intentionally small: an :class:`Element` has a tag, a dict of
+string attributes, an optional text payload and an ordered list of child
+elements.  Stream items in P2PM are instances of this class; the paper's
+"attributes of the root" (used by the preFilter) are simply ``root.attrib``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+
+class Element:
+    """A node of an XML tree.
+
+    Parameters
+    ----------
+    tag:
+        Element name.  Must be a non-empty string.
+    attrib:
+        Mapping of attribute name to string value.  Values are coerced to
+        ``str`` so callers may pass numbers.
+    children:
+        Ordered child elements.
+    text:
+        Optional character data directly under this element.
+    """
+
+    __slots__ = ("tag", "attrib", "children", "text")
+
+    def __init__(
+        self,
+        tag: str,
+        attrib: Mapping[str, object] | None = None,
+        children: Iterable["Element"] | None = None,
+        text: str | None = None,
+    ) -> None:
+        if not isinstance(tag, str) or not tag:
+            raise ValueError(f"element tag must be a non-empty string, got {tag!r}")
+        self.tag = tag
+        self.attrib: dict[str, str] = {
+            str(k): str(v) for k, v in (attrib or {}).items()
+        }
+        self.children: list[Element] = list(children or [])
+        for child in self.children:
+            if not isinstance(child, Element):
+                raise TypeError(f"child must be an Element, got {type(child).__name__}")
+        self.text = text
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def append(self, child: "Element") -> "Element":
+        """Append ``child`` and return it (convenient for chaining)."""
+        if not isinstance(child, Element):
+            raise TypeError(f"child must be an Element, got {type(child).__name__}")
+        self.children.append(child)
+        return child
+
+    def extend(self, children: Iterable["Element"]) -> None:
+        for child in children:
+            self.append(child)
+
+    def set(self, name: str, value: object) -> None:
+        """Set attribute ``name`` to ``str(value)``."""
+        self.attrib[str(name)] = str(value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return attribute ``name`` or ``default``."""
+        return self.attrib.get(name, default)
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+
+    def find(self, tag: str) -> "Element | None":
+        """Return the first direct child with the given tag, or ``None``."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def findall(self, tag: str) -> list["Element"]:
+        """Return all direct children with the given tag."""
+        return [child for child in self.children if child.tag == tag]
+
+    def iter(self, tag: str | None = None) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over self and all descendants."""
+        if tag is None or self.tag == tag:
+            yield self
+        for child in self.children:
+            yield from child.iter(tag)
+
+    def descendants(self) -> Iterator["Element"]:
+        """All strict descendants, depth-first pre-order."""
+        for child in self.children:
+            yield from child.iter()
+
+    def child_text(self, tag: str, default: str | None = None) -> str | None:
+        """Text of the first child named ``tag``, or ``default``."""
+        child = self.find(tag)
+        if child is None:
+            return default
+        return child.text if child.text is not None else default
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        """Number of elements in the subtree rooted here."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        """Height of the subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def weight(self) -> int:
+        """Approximate serialised size in bytes.
+
+        Used by the network simulator to account for transferred data
+        without re-serialising every message.
+        """
+        total = 2 * len(self.tag) + 5  # <tag></tag>
+        for name, value in self.attrib.items():
+            total += len(name) + len(value) + 4
+        if self.text:
+            total += len(self.text)
+        for child in self.children:
+            total += child.weight()
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Copying, equality, hashing-ish helpers
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Element":
+        """Deep copy of the subtree."""
+        return Element(
+            self.tag,
+            dict(self.attrib),
+            [child.copy() for child in self.children],
+            self.text,
+        )
+
+    def structural_key(self) -> tuple:
+        """A hashable key identifying the subtree up to structural equality.
+
+        Used by Duplicate-removal and by the stream-reuse machinery to
+        compare trees cheaply.
+        """
+        return (
+            self.tag,
+            tuple(sorted(self.attrib.items())),
+            self.text or "",
+            tuple(child.structural_key() for child in self.children),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Element):
+            return NotImplemented
+        return (
+            self.tag == other.tag
+            and self.attrib == other.attrib
+            and (self.text or "") == (other.text or "")
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - exercised via sets in tests
+        return hash(self.structural_key())
+
+    def __repr__(self) -> str:
+        bits = [self.tag]
+        if self.attrib:
+            bits.append(" " + " ".join(f'{k}="{v}"' for k, v in self.attrib.items()))
+        inner = ""
+        if self.text:
+            inner = self.text if len(self.text) <= 20 else self.text[:17] + "..."
+        if self.children:
+            inner += f"[{len(self.children)} children]"
+        return f"<Element {''.join(bits)}>{inner}"
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __iter__(self) -> Iterator["Element"]:
+        return iter(self.children)
+
+    def __getitem__(self, index: int) -> "Element":
+        return self.children[index]
+
+
+def element(tag: str, /, _text: str | None = None, **attrib: object) -> Element:
+    """Terse constructor: ``element("alert", callId="7")``."""
+    return Element(tag, attrib, text=_text)
+
+
+def text_of(node: Element | None) -> str:
+    """Concatenated text content of a subtree (empty string for ``None``)."""
+    if node is None:
+        return ""
+    parts: list[str] = []
+    for item in node.iter():
+        if item.text:
+            parts.append(item.text)
+    return "".join(parts)

@@ -1,0 +1,165 @@
+"""Tests for the alerters and the workload generators that drive them."""
+
+import pytest
+
+from repro.alerters import (
+    AreRegisteredAlerter,
+    AXMLRepository,
+    AXMLRepositoryAlerter,
+    RSSFeedAlerter,
+    WebPageAlerter,
+    WSAlerter,
+)
+from repro.dht import KadopIndex
+from repro.streams import collect
+from repro.workloads import RSSFeedSimulator, SoapTrafficGenerator, WebPageSimulator
+from repro.xmlmodel import Element
+
+
+class TestWSAlerter:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            WSAlerter("a.com", "sideways")
+
+    def test_out_alerter_sees_only_own_calls(self):
+        generator = SoapTrafficGenerator(["a.com", "b.com"], ["meteo.com"], seed=3)
+        alerter = WSAlerter("a.com", "out")
+        generator.attach_alerter(alerter)
+        sink = collect(alerter.output)
+        calls = generator.run(50)
+        own = [call for call in calls if call.caller == "a.com"]
+        assert len(sink) == len(own)
+        assert all(item.attrib["caller"] == "a.com" for item in sink)
+        assert alerter.p2pml_function == "outCOM"
+
+    def test_in_alerter_sees_served_calls(self):
+        generator = SoapTrafficGenerator(["a.com"], ["meteo.com"], seed=3)
+        alerter = WSAlerter("meteo.com", "in")
+        generator.attach_alerter(alerter)
+        sink = collect(alerter.output)
+        generator.run(20)
+        assert len(sink) == 20
+        assert alerter.p2pml_function == "inCOM"
+
+    def test_alert_shape(self):
+        generator = SoapTrafficGenerator(["a.com"], ["meteo.com"], error_rate=1.0, seed=1)
+        alerter = WSAlerter("meteo.com", "in")
+        generator.attach_alerter(alerter)
+        sink = collect(alerter.output)
+        generator.run(1)
+        alert = sink[0]
+        for attr in ("callId", "caller", "callee", "callMethod", "callTimestamp", "responseTimestamp"):
+            assert attr in alert.attrib
+        assert alert.find("Envelope") is not None
+        assert alert.find("error") is not None  # error_rate=1.0
+
+    def test_traffic_generator_validation_and_durations(self):
+        with pytest.raises(ValueError):
+            SoapTrafficGenerator([], ["s"])
+        generator = SoapTrafficGenerator(["c"], ["s"], slow_fraction=0.5, seed=5)
+        calls = generator.run(100)
+        assert all(call.duration > 0 for call in calls)
+        slow = [call for call in calls if call.duration > 10]
+        assert slow  # the slow regime produces >10s calls with the default mean
+
+
+class TestRSSAlerter:
+    def test_first_poll_is_baseline(self):
+        feed = RSSFeedSimulator("http://news.example/rss", seed=2)
+        alerter = RSSFeedAlerter("news.example", feed.feed_url, feed.snapshot)
+        assert alerter.poll() == 0
+
+    def test_add_remove_modify_semantics(self):
+        feed = RSSFeedSimulator("http://news.example/rss", initial_entries=3,
+                                add_rate=1.0, remove_rate=1.0, modify_rate=1.0, seed=4)
+        alerter = RSSFeedAlerter("news.example", feed.feed_url, feed.snapshot)
+        sink = collect(alerter.output)
+        alerter.poll()
+        feed.tick()
+        produced = alerter.poll()
+        assert produced == len(sink)
+        kinds = {item.attrib["kind"] for item in sink}
+        assert kinds <= {"add", "remove", "modify"}
+        assert kinds  # something changed
+        for item in sink:
+            assert item.attrib["feed"] == feed.feed_url
+            assert item.find("entry") is not None
+
+    def test_modify_alert_carries_previous_version(self):
+        feed = RSSFeedSimulator("u", initial_entries=2, add_rate=0.0,
+                                remove_rate=0.0, modify_rate=1.0, seed=1)
+        alerter = RSSFeedAlerter("p", "u", feed.snapshot)
+        sink = collect(alerter.output)
+        alerter.poll()
+        feed.tick()
+        alerter.poll()
+        modified = [item for item in sink if item.attrib["kind"] == "modify"]
+        assert modified
+        assert modified[0].find("previous") is not None
+
+
+class TestWebPageAlerter:
+    def test_crawl_detects_changes(self):
+        site = WebPageSimulator("example.org", n_pages=3, change_rate=1.0, seed=1)
+        alerter = WebPageAlerter("example.org")
+        for url in site.urls:
+            alerter.watch(url, site.source_for(url))
+        sink = collect(alerter.output)
+        assert alerter.crawl() == 0  # baseline
+        site.tick()
+        assert alerter.crawl() == 3
+        assert all(item.find("delta") is not None for item in sink)
+
+    def test_unchanged_pages_produce_no_alert(self):
+        site = WebPageSimulator("example.org", n_pages=2, change_rate=0.0, seed=1)
+        alerter = WebPageAlerter("example.org", include_delta=False)
+        for url in site.urls:
+            alerter.watch(url, site.source_for(url))
+        alerter.crawl()
+        site.tick()
+        assert alerter.crawl() == 0
+
+    def test_unwatch(self):
+        site = WebPageSimulator("example.org", n_pages=2, change_rate=1.0, seed=1)
+        alerter = WebPageAlerter("example.org")
+        for url in site.urls:
+            alerter.watch(url, site.source_for(url))
+        alerter.unwatch(site.urls[0])
+        assert len(alerter.watched_urls) == 1
+
+    def test_page_simulator_validation(self):
+        with pytest.raises(ValueError):
+            WebPageSimulator("s", n_pages=0)
+
+
+class TestAXMLRepositoryAlerter:
+    def test_insert_replace_delete_alerts(self):
+        repository = AXMLRepository("p1")
+        alerter = AXMLRepositoryAlerter("p1", repository)
+        sink = collect(alerter.output)
+        repository.store("doc1", Element("data", text="v1"))
+        repository.store("doc1", Element("data", text="v2"))
+        assert repository.delete("doc1")
+        assert not repository.delete("doc1")
+        assert [item.attrib["kind"] for item in sink] == ["insert", "replace", "delete"]
+        assert sink[0].find("content") is not None
+        assert sink[2].find("content") is None
+        assert repository.document_names == []
+
+    def test_repository_get(self):
+        repository = AXMLRepository("p1")
+        repository.store("doc", Element("x"))
+        assert repository.get("doc").tag == "x"
+        assert repository.get("missing") is None
+
+
+class TestAreRegisteredAlerter:
+    def test_membership_alerts(self):
+        index = KadopIndex()
+        alerter = AreRegisteredAlerter("dht.example", index)
+        sink = collect(alerter.output)
+        index.join_peer("client1")
+        index.leave_peer("client1")
+        assert [item.attrib["kind"] for item in sink] == ["join", "leave"]
+        assert sink[0].find("p-join").text == "client1"
+        assert sink[1].find("p-leave").text == "client1"

@@ -1,0 +1,147 @@
+"""Tests for channel publication and subscription across peers."""
+
+import pytest
+
+from repro.net import Peer, SimNetwork
+from repro.net.errors import UnknownChannelError
+from repro.streams import collect
+from repro.xmlmodel import Element
+
+
+@pytest.fixture
+def network() -> SimNetwork:
+    return SimNetwork(seed=1)
+
+
+@pytest.fixture
+def publisher(network) -> Peer:
+    return Peer("pub.com", network)
+
+
+@pytest.fixture
+def subscriber(network) -> Peer:
+    return Peer("sub.com", network)
+
+
+class TestPublication:
+    def test_publish_and_lookup(self, publisher):
+        stream = publisher.create_stream("alerts")
+        channel = publisher.publish_channel("X", stream)
+        assert channel.qualified_id == "#X@pub.com"
+        assert publisher.channels.publishes("X")
+        assert publisher.channels.published("X") is channel
+        assert publisher.channels.published_ids == ["X"]
+
+    def test_duplicate_channel_rejected(self, publisher):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        with pytest.raises(ValueError):
+            publisher.publish_channel("X", stream)
+
+    def test_unknown_channel_lookup(self, publisher):
+        with pytest.raises(UnknownChannelError):
+            publisher.channels.published("nope")
+
+
+class TestSubscription:
+    def test_remote_subscription_delivers_items(self, network, publisher, subscriber):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxy = subscriber.subscribe_channel("pub.com", "X")
+        network.run()  # deliver the subscribe message
+        received = collect(proxy)
+        stream.emit(Element("alert", {"n": "1"}))
+        stream.emit(Element("alert", {"n": "2"}))
+        network.run()
+        assert [e.attrib["n"] for e in received] == ["1", "2"]
+        assert publisher.channels.published("X").subscribers == {"sub.com"}
+
+    def test_items_before_subscription_are_missed(self, network, publisher, subscriber):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        stream.emit(Element("alert", {"n": "early"}))
+        proxy = subscriber.subscribe_channel("pub.com", "X")
+        network.run()
+        received = collect(proxy)
+        stream.emit(Element("alert", {"n": "late"}))
+        network.run()
+        assert [e.attrib["n"] for e in received] == ["late"]
+
+    def test_multiple_subscribers(self, network, publisher):
+        peers = [Peer(f"client{i}.com", network) for i in range(3)]
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxies = [p.subscribe_channel("pub.com", "X") for p in peers]
+        network.run()
+        sinks = [collect(proxy) for proxy in proxies]
+        stream.emit(Element("alert"))
+        network.run()
+        assert all(len(sink) == 1 for sink in sinks)
+
+    def test_duplicate_subscription_returns_same_proxy(self, network, publisher, subscriber):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxy1 = subscriber.subscribe_channel("pub.com", "X")
+        proxy2 = subscriber.subscribe_channel("pub.com", "X")
+        assert proxy1 is proxy2
+
+    def test_local_subscription_shortcut(self, network, publisher):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxy = publisher.subscribe_channel("pub.com", "X")
+        received = collect(proxy)
+        stream.emit(Element("alert"))
+        # no network round trip needed
+        assert len(received) == 1
+        assert network.stats.total_messages == 0
+
+    def test_eos_propagates_to_proxy(self, network, publisher, subscriber):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxy = subscriber.subscribe_channel("pub.com", "X")
+        network.run()
+        stream.emit(Element("alert"))
+        stream.close()
+        network.run()
+        assert proxy.closed
+
+    def test_unsubscribe_stops_delivery(self, network, publisher, subscriber):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxy = subscriber.subscribe_channel("pub.com", "X")
+        network.run()
+        received = collect(proxy)
+        subscriber.channels.unsubscribe_remote("pub.com", "X")
+        network.run()
+        stream.emit(Element("alert"))
+        network.run()
+        assert received == []
+        assert publisher.channels.published("X").subscribers == set()
+
+    def test_proxy_lookup(self, network, publisher, subscriber):
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        subscriber.subscribe_channel("pub.com", "X")
+        assert subscriber.channels.proxy("pub.com", "X") is not None
+        with pytest.raises(UnknownChannelError):
+            subscriber.channels.proxy("pub.com", "Y")
+
+    def test_channel_relay_chain(self, network):
+        """a.com -> b.com -> meteo.com relay, as in the Figure 4 plan."""
+        a = Peer("a.com", network)
+        b = Peer("b.com", network)
+        meteo = Peer("meteo.com", network)
+        out_a = a.create_stream("outA")
+        a.publish_channel("X", out_a)
+        # b republishes what it receives from a
+        proxy_at_b = b.subscribe_channel("a.com", "X")
+        merged = b.create_stream("merged")
+        proxy_at_b.subscribe(merged.push)
+        b.publish_channel("Y", merged)
+        proxy_at_meteo = meteo.subscribe_channel("b.com", "Y")
+        network.run()
+        received = collect(proxy_at_meteo)
+        out_a.emit(Element("alert", {"from": "a"}))
+        network.run()
+        assert len(received) == 1
+        assert received[0].attrib["from"] == "a"

@@ -1,0 +1,113 @@
+"""Tests for simple conditions, the registry and filter subscriptions."""
+
+import pytest
+
+from repro.filtering import ConditionRegistry, FilterSubscription, SimpleCondition
+from repro.xmlmodel import Element, XPath
+
+
+class TestSimpleCondition:
+    def test_equality_on_strings(self):
+        cond = SimpleCondition("callee", "=", "http://meteo.com")
+        assert cond.evaluate({"callee": "http://meteo.com"})
+        assert not cond.evaluate({"callee": "http://other.com"})
+
+    def test_missing_attribute_is_false(self):
+        assert not SimpleCondition("x", "=", "1").evaluate({})
+
+    def test_numeric_comparisons(self):
+        assert SimpleCondition("duration", ">", "10").evaluate({"duration": "12"})
+        assert not SimpleCondition("duration", ">", "10").evaluate({"duration": "9"})
+        assert SimpleCondition("duration", "<=", "10").evaluate({"duration": "10"})
+        assert SimpleCondition("duration", ">=", "10").evaluate({"duration": "10"})
+        assert SimpleCondition("duration", "<", "10").evaluate({"duration": "2"})
+        # "9" < "10" numerically even though "9" > "10" lexicographically
+        assert SimpleCondition("v", "<", "10").evaluate({"v": "9"})
+
+    def test_inequality(self):
+        assert SimpleCondition("a", "!=", "x").evaluate({"a": "y"})
+        assert not SimpleCondition("a", "!=", "x").evaluate({"a": "x"})
+
+    def test_mixed_string_numeric_falls_back_to_string(self):
+        assert SimpleCondition("a", "=", "abc").evaluate({"a": "abc"})
+        assert not SimpleCondition("a", "=", "10").evaluate({"a": "ten"})
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleCondition("a", "~", "1")
+
+    def test_value_coerced_to_string(self):
+        cond = SimpleCondition("a", "=", 5)  # type: ignore[arg-type]
+        assert cond.value == "5"
+        assert cond.evaluate({"a": "5"})
+
+    def test_str_representation(self):
+        assert "callee" in str(SimpleCondition("callee", "=", "x"))
+
+
+class TestConditionRegistry:
+    def test_interning_assigns_stable_ids(self):
+        registry = ConditionRegistry()
+        c1 = SimpleCondition("a", "=", "1")
+        c2 = SimpleCondition("b", "=", "2")
+        id1 = registry.register(c1)
+        id2 = registry.register(c2)
+        assert id1 != id2
+        assert registry.register(SimpleCondition("a", "=", "1")) == id1
+        assert len(registry) == 2
+        assert registry.condition(id1) == c1
+        assert registry.id_of(c2) == id2
+        assert c1 in registry
+
+    def test_by_attribute_table(self):
+        registry = ConditionRegistry()
+        registry.register(SimpleCondition("a", "=", "1"))
+        registry.register(SimpleCondition("a", ">", "5"))
+        registry.register(SimpleCondition("b", "=", "2"))
+        table = registry.by_attribute()
+        assert len(table["a"]) == 2
+        assert len(table["b"]) == 1
+
+    def test_conditions_listing(self):
+        registry = ConditionRegistry()
+        registry.register(SimpleCondition("a", "=", "1"))
+        assert registry.conditions() == [SimpleCondition("a", "=", "1")]
+
+
+class TestFilterSubscription:
+    def test_simple_vs_complex(self):
+        simple = FilterSubscription("s", [SimpleCondition("a", "=", "1")])
+        complex_sub = FilterSubscription(
+            "c", [SimpleCondition("a", "=", "1")], [XPath.compile("//b")]
+        )
+        assert simple.is_simple and not simple.is_complex
+        assert complex_sub.is_complex and not complex_sub.is_simple
+
+    def test_condition_ids_sorted_and_deduplicated(self):
+        registry = ConditionRegistry()
+        # pre-register in a different order to check sorting
+        registry.register(SimpleCondition("z", "=", "9"))
+        sub = FilterSubscription(
+            "s",
+            [
+                SimpleCondition("b", "=", "2"),
+                SimpleCondition("a", "=", "1"),
+                SimpleCondition("b", "=", "2"),
+            ],
+        )
+        ids = sub.condition_ids(registry)
+        assert ids == sorted(ids)
+        assert len(ids) == 2
+
+    def test_matches_extensionally(self):
+        sub = FilterSubscription(
+            "q",
+            [SimpleCondition("attr1", "=", "x")],
+            [XPath.compile("//c/d")],
+        )
+        matching = Element("root", {"attr1": "x"}, [Element("c", children=[Element("d")])])
+        wrong_attr = Element("root", {"attr1": "y"}, [Element("c", children=[Element("d")])])
+        wrong_body = Element("root", {"attr1": "x"}, [Element("c")])
+        assert sub.matches_extensionally(matching)
+        assert not sub.matches_extensionally(wrong_attr)
+        assert not sub.matches_extensionally(wrong_body)

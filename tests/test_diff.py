@@ -1,0 +1,102 @@
+"""Tests for snapshot diffing (Web page / RSS alerter substrate)."""
+
+from repro.xmlmodel import Element, diff_trees, parse_xml
+from repro.xmlmodel.diff import default_key
+
+
+def feed(*entries: Element) -> Element:
+    return Element("feed", children=list(entries))
+
+
+def entry(guid: str, title: str) -> Element:
+    return Element(
+        "entry", {"guid": guid}, [Element("title", text=title)]
+    )
+
+
+class TestDiffTrees:
+    def test_no_change(self):
+        old = feed(entry("1", "a"), entry("2", "b"))
+        new = feed(entry("1", "a"), entry("2", "b"))
+        delta = diff_trees(old, new)
+        assert delta.is_empty
+        assert delta.summary() == {"added": 0, "removed": 0, "modified": 0, "unchanged": 2}
+
+    def test_added_entry(self):
+        delta = diff_trees(feed(entry("1", "a")), feed(entry("1", "a"), entry("2", "b")))
+        assert len(delta.added) == 1
+        assert delta.added[0].attrib["guid"] == "2"
+
+    def test_removed_entry(self):
+        delta = diff_trees(feed(entry("1", "a"), entry("2", "b")), feed(entry("2", "b")))
+        assert len(delta.removed) == 1
+        assert delta.removed[0].attrib["guid"] == "1"
+
+    def test_modified_entry(self):
+        delta = diff_trees(feed(entry("1", "a")), feed(entry("1", "changed")))
+        assert len(delta.modified) == 1
+        old, new = delta.modified[0]
+        assert old.find("title").text == "a"
+        assert new.find("title").text == "changed"
+
+    def test_duplicate_keys_aligned_positionally(self):
+        old = feed(entry("1", "a"), entry("1", "b"))
+        new = feed(entry("1", "a"), entry("1", "b2"), entry("1", "c"))
+        delta = diff_trees(old, new)
+        assert len(delta.modified) == 1
+        assert len(delta.added) == 1
+        assert len(delta.unchanged) == 1
+
+    def test_to_element_encoding(self):
+        delta = diff_trees(feed(entry("1", "a")), feed(entry("2", "b")))
+        encoded = delta.to_element()
+        assert encoded.tag == "delta"
+        assert encoded.attrib["added"] == "1"
+        assert encoded.attrib["removed"] == "1"
+        assert encoded.find("added") is not None
+        assert encoded.find("removed") is not None
+
+    def test_modified_encoding_has_old_and_new(self):
+        delta = diff_trees(feed(entry("1", "a")), feed(entry("1", "b")))
+        encoded = delta.to_element()
+        modified = encoded.find("modified")
+        assert modified.find("old") is not None
+        assert modified.find("new") is not None
+
+
+class TestDefaultKey:
+    def test_prefers_id_like_attributes(self):
+        assert default_key(Element("item", {"guid": "g1"})) == "item#g1"
+        assert default_key(Element("item", {"id": "i1"})) == "item#i1"
+
+    def test_falls_back_to_title(self):
+        node = Element("item", children=[Element("title", text="hello")])
+        assert default_key(node) == "item#hello"
+
+    def test_falls_back_to_text(self):
+        assert default_key(Element("p", text="body")) == "p#body"
+
+    def test_custom_key_function(self):
+        old = feed(Element("row", {"x": "1"}, text="a"))
+        new = feed(Element("row", {"x": "1"}, text="b"))
+        delta = diff_trees(old, new, key=lambda n: n.attrib["x"])
+        assert len(delta.modified) == 1
+
+
+def test_rss_like_snapshot_diff():
+    old = parse_xml(
+        "<rss><channel>"
+        "<item><guid>1</guid><title>old news</title></item>"
+        "<item><guid>2</guid><title>stays</title></item>"
+        "</channel></rss>"
+    )
+    new = parse_xml(
+        "<rss><channel>"
+        "<item><guid>2</guid><title>stays</title></item>"
+        "<item><guid>3</guid><title>fresh</title></item>"
+        "</channel></rss>"
+    )
+    delta = diff_trees(old.find("channel"), new.find("channel"))
+    assert len(delta.added) == 1
+    assert len(delta.removed) == 1
+    assert len(delta.unchanged) == 1

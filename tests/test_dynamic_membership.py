@@ -1,0 +1,71 @@
+"""End-to-end test of membership-driven monitoring (Section 2's areRegistered)."""
+
+from repro.monitor import P2PMSystem
+from repro.workloads import SoapTrafficGenerator
+
+
+def test_dynamic_alerter_follows_joins_and_leaves():
+    system = P2PMSystem(seed=5)
+    servers = [system.add_peer(f"server{i}.example") for i in range(3)]
+    monitor = system.add_peer("monitor.example")
+
+    traffic = SoapTrafficGenerator(
+        clients=["client.example"],
+        servers=[peer.peer_id for peer in servers],
+        methods=["Get"],
+        seed=5,
+    )
+    system.add_peer("client.example")
+    for peer in servers:
+        peer.add_alerter_hook(
+            lambda alerter: traffic.attach_alerter(alerter)
+            if hasattr(alerter, "observe_call")
+            else None
+        )
+
+    task = monitor.subscribe(
+        """
+        for $j in areRegistered(<p>monitor.example</p>),
+            $c in inCOM($j)
+        where $c.callMethod = "Get"
+        return <seen callee="{$c.callee}"/>
+        """,
+        sub_id="dynamic-watch",
+    )
+    system.run()
+
+    # no server is registered in the monitored DHT yet: nothing is observed
+    traffic.run(30)
+    system.run()
+    assert task.results == []
+
+    # server0 registers: only its calls are observed from now on
+    system.kadop.join_peer("server0.example")
+    system.run()
+    traffic.run(60)
+    system.run()
+    observed = {item.attrib["callee"] for item in task.results}
+    assert observed == {"server0.example"}
+    count_after_first_phase = len(task.results)
+    assert count_after_first_phase > 0
+
+    # server1 registers too
+    system.kadop.join_peer("server1.example")
+    system.run()
+    traffic.run(60)
+    system.run()
+    observed = {item.attrib["callee"] for item in task.results}
+    assert observed == {"server0.example", "server1.example"}
+
+    # server0 leaves: its calls stop being reported
+    system.kadop.leave_peer("server0.example")
+    system.run()
+    before = len(task.results)
+    only_server0 = SoapTrafficGenerator(
+        clients=["client.example"], servers=["server0.example"], methods=["Get"], seed=9
+    )
+    alerter = system.peer("server0.example").alerter("inCOM")
+    only_server0.attach_alerter(alerter)
+    only_server0.run(40)
+    system.run()
+    assert len(task.results) == before

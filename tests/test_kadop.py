@@ -1,0 +1,138 @@
+"""Tests for the KadoP-style XML index (Stream Definition Database substrate)."""
+
+import pytest
+
+from repro.dht import ChordRing, KadopIndex
+from repro.dht.kadop import MembershipEvent, _terms_of_query
+from repro.xmlmodel import XPath, parse_xml
+
+
+def stream_description(peer: str, stream: str, operator_xml: str, operands: str = "") -> str:
+    return (
+        f'<Stream PeerId="{peer}" StreamId="{stream}" isAChannel="true">'
+        f"<Operator>{operator_xml}</Operator>"
+        f"<Operands>{operands}</Operands>"
+        f"<Stats avgVolume='10'/>"
+        f"</Stream>"
+    )
+
+
+@pytest.fixture
+def index() -> KadopIndex:
+    ring = ChordRing()
+    for i in range(8):
+        ring.join(f"storage{i}")
+    idx = KadopIndex(ring)
+    idx.publish(parse_xml(stream_description("p1", "s1", "<inCom/>")), "d1")
+    idx.publish(parse_xml(stream_description("p2", "s2", "<outCom/>")), "d2")
+    idx.publish(
+        parse_xml(
+            stream_description(
+                "p1",
+                "s3",
+                "<Filter/>",
+                '<Operand OPeerId="p1" OStreamId="s1"/>',
+            )
+        ),
+        "d3",
+    )
+    return idx
+
+
+class TestPublication:
+    def test_publish_assigns_ids(self):
+        index = KadopIndex()
+        doc_id = index.publish(parse_xml("<Stream PeerId='p'/>"))
+        assert doc_id == "doc1"
+        assert index.document(doc_id) is not None
+        assert index.document_ids == ["doc1"]
+
+    def test_document_lookup_missing(self, index):
+        assert index.document("ghost") is None
+
+    def test_published_copy_is_independent(self):
+        index = KadopIndex()
+        source = parse_xml("<Stream PeerId='p'/>")
+        index.publish(source, "d")
+        source.set("PeerId", "mutated")
+        assert index.document("d").attrib["PeerId"] == "p"
+
+    def test_unpublish(self, index):
+        assert index.unpublish("d1")
+        assert index.document("d1") is None
+        assert not index.unpublish("d1")
+        assert index.query("/Stream[Operator/inCom]") == []
+
+
+class TestQueries:
+    def test_alerter_discovery_query(self, index):
+        # "find streams produced by alerters on p1"
+        results = index.query("/Stream[@PeerId = 'p1'][Operator/inCom]")
+        assert [doc_id for doc_id, _ in results] == ["d1"]
+
+    def test_filter_over_operand_query(self, index):
+        query = (
+            "/Stream[Operator/Filter]"
+            "[Operands/Operand[@OPeerId='p1'][@OStreamId='s1']]"
+        )
+        results = index.query(query)
+        assert [doc_id for doc_id, _ in results] == ["d3"]
+
+    def test_no_match(self, index):
+        assert index.query("/Stream[Operator/Join]") == []
+
+    def test_query_accepts_compiled_xpath(self, index):
+        results = index.query(XPath.compile("/Stream[@PeerId='p2']"))
+        assert [doc_id for doc_id, _ in results] == ["d2"]
+
+    def test_wildcard_only_query_scans_catalogue(self, index):
+        results = index.query("//*[@StreamId='s2']")
+        assert [doc_id for doc_id, _ in results] == ["d2"]
+
+    def test_query_lookup_cost_reports_hops(self, index):
+        cost = index.query_lookup_cost("/Stream[@PeerId = 'p1'][Operator/inCom]")
+        assert cost["results"] == 1
+        assert cost["lookups"] > 0
+        assert cost["hops_per_lookup"] >= 0.0
+
+    def test_results_sorted_by_doc_id(self, index):
+        results = index.query("/Stream[@PeerId='p1']")
+        assert [doc_id for doc_id, _ in results] == ["d1", "d3"]
+
+
+class TestTermExtraction:
+    def test_tags_and_attribute_terms(self):
+        terms = _terms_of_query(XPath.compile("/Stream[@PeerId = 'p1'][Operator/inCom]"))
+        assert "tag:Stream" in terms
+        assert "attr:Stream@PeerId=p1" in terms
+        assert "tag:Operator" in terms
+        assert "tag:inCom" in terms
+
+    def test_or_predicates_are_not_required_terms(self):
+        terms = _terms_of_query(XPath.compile("/Stream[@a='1' or @b='2']"))
+        assert "attr:Stream@a=1" not in terms
+        assert "tag:Stream" in terms
+
+    def test_wildcard_contributes_no_tag(self):
+        terms = _terms_of_query(XPath.compile("//*[@x='1']"))
+        assert terms == set()
+
+
+class TestMembership:
+    def test_join_leave_events(self):
+        index = KadopIndex()
+        events: list[MembershipEvent] = []
+        index.subscribe_membership(events.append)
+        index.join_peer("new.com")
+        index.leave_peer("new.com")
+        assert [e.kind for e in events] == ["join", "leave"]
+        assert events[0].to_element().tag == "p-join"
+        assert events[1].to_element().tag == "p-leave"
+        assert events[0].to_element().text == "new.com"
+
+    def test_documents_survive_membership_churn(self, index):
+        index.join_peer("extra1")
+        index.join_peer("extra2")
+        index.leave_peer("storage3")
+        results = index.query("/Stream[@PeerId = 'p1'][Operator/inCom]")
+        assert [doc_id for doc_id, _ in results] == ["d1"]

@@ -1,0 +1,258 @@
+"""Tests for the runtime stream operators."""
+
+import pytest
+
+from repro.algebra import (
+    DuplicateRemovalOperator,
+    FilterProcessor,
+    GroupOperator,
+    JoinOperator,
+    RestructureOperator,
+    RestructureTemplate,
+    UnionOperator,
+    ValueRef,
+    get_binding,
+)
+from repro.filtering import FilterSubscription, SimpleCondition
+from repro.streams import Stream, collect
+from repro.xmlmodel import Element, XPath
+
+
+def alert(**attrs) -> Element:
+    return Element("alert", attrs)
+
+
+class TestOperatorBase:
+    def test_eos_propagates_when_all_inputs_close(self):
+        left, right = Stream("l"), Stream("r")
+        union = UnionOperator()
+        union.connect(left).connect(right)
+        left.close()
+        assert not union.output.closed
+        right.close()
+        assert union.output.closed
+
+    def test_counters(self):
+        source = Stream("s")
+        union = UnionOperator()
+        union.connect(source)
+        source.emit(alert())
+        assert union.items_in == 1
+        assert union.items_out == 1
+        assert "in=1" in repr(union)
+
+
+class TestFilterProcessor:
+    def test_forwards_only_matching_items(self):
+        source = Stream("s")
+        subscription = FilterSubscription(
+            "slow", [SimpleCondition("duration", ">", "10")]
+        )
+        processor = FilterProcessor(subscription)
+        processor.connect(source)
+        sink = collect(processor.output)
+        source.emit(alert(duration="5"))
+        source.emit(alert(duration="15"))
+        source.emit(alert(duration="30"))
+        assert [item.attrib["duration"] for item in sink] == ["15", "30"]
+
+    def test_complex_condition(self):
+        source = Stream("s")
+        subscription = FilterSubscription(
+            "deep", [], [XPath.compile("//c/d")]
+        )
+        processor = FilterProcessor(subscription)
+        processor.connect(source)
+        sink = collect(processor.output)
+        source.emit(Element("alert", children=[Element("c", children=[Element("d")])]))
+        source.emit(Element("alert", children=[Element("c")]))
+        assert len(sink) == 1
+
+
+class TestUnion:
+    def test_merges_streams(self):
+        a, b, c = Stream("a"), Stream("b"), Stream("c")
+        union = UnionOperator()
+        for stream in (a, b, c):
+            union.connect(stream)
+        sink = collect(union.output)
+        a.emit(alert(src="a"))
+        b.emit(alert(src="b"))
+        c.emit(alert(src="c"))
+        a.emit(alert(src="a2"))
+        assert [item.attrib["src"] for item in sink] == ["a", "b", "c", "a2"]
+
+
+class TestRestructure:
+    def test_applies_template(self):
+        source = Stream("s")
+        template = RestructureTemplate(
+            Element("incident", {"type": "slowAnswer"}, [Element("client", text="{$c1.caller}")])
+        )
+        restructure = RestructureOperator(template, default_var="c1")
+        restructure.connect(source)
+        sink = collect(restructure.output)
+        source.emit(alert(caller="http://a.com"))
+        assert sink[0].tag == "incident"
+        assert sink[0].find("client").text == "http://a.com"
+
+
+class TestJoin:
+    def make_join(self, window=None) -> tuple[Stream, Stream, JoinOperator, list]:
+        left, right = Stream("out-calls"), Stream("in-calls")
+        join = JoinOperator(
+            left_var="c1",
+            right_var="c2",
+            predicate=[(ValueRef.attribute("c1", "callId"), ValueRef.attribute("c2", "callId"))],
+            window=window,
+        )
+        join.connect(left).connect(right)
+        sink = collect(join.output)
+        return left, right, join, sink
+
+    def test_matching_pairs_joined(self):
+        left, right, join, sink = self.make_join()
+        left.emit(alert(callId="1", caller="a.com"))
+        right.emit(alert(callId="2", server="meteo"))
+        assert sink == []
+        right.emit(alert(callId="1", server="meteo"))
+        assert len(sink) == 1
+        binding = get_binding(sink[0])
+        assert binding["c1"].attrib["caller"] == "a.com"
+        assert binding["c2"].attrib["server"] == "meteo"
+
+    def test_join_is_symmetric(self):
+        left, right, join, sink = self.make_join()
+        right.emit(alert(callId="9", side="right"))
+        left.emit(alert(callId="9", side="left"))
+        assert len(sink) == 1
+
+    def test_multiple_matches_in_history(self):
+        left, right, join, sink = self.make_join()
+        left.emit(alert(callId="1", n="first"))
+        left.emit(alert(callId="1", n="second"))
+        right.emit(alert(callId="1"))
+        assert len(sink) == 2
+
+    def test_items_missing_key_are_ignored(self):
+        left, right, join, sink = self.make_join()
+        left.emit(alert(other="x"))
+        right.emit(alert(callId="1"))
+        assert sink == []
+
+    def test_multi_key_predicate(self):
+        left, right = Stream("l"), Stream("r")
+        join = JoinOperator(
+            "a",
+            "b",
+            predicate=[
+                (ValueRef.attribute("a", "callId"), ValueRef.attribute("b", "callId")),
+                (ValueRef.attribute("a", "method"), ValueRef.attribute("b", "method")),
+            ],
+        )
+        join.connect(left).connect(right)
+        sink = collect(join.output)
+        left.emit(alert(callId="1", method="GetTemperature"))
+        right.emit(alert(callId="1", method="GetHumidity"))
+        assert sink == []
+        right.emit(alert(callId="1", method="GetTemperature"))
+        assert len(sink) == 1
+
+    def test_window_bounds_history(self):
+        left, right, join, sink = self.make_join(window=2)
+        left.emit(alert(callId="1"))
+        left.emit(alert(callId="2"))
+        left.emit(alert(callId="3"))  # evicts callId=1
+        assert join.history_size(0) == 2
+        right.emit(alert(callId="1"))
+        assert sink == []
+        right.emit(alert(callId="3"))
+        assert len(sink) == 1
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            JoinOperator("a", "b", predicate=[])
+
+    def test_third_input_rejected(self):
+        left, right, join, sink = self.make_join()
+        extra = Stream("extra")
+        join.connect(extra)
+        with pytest.raises(ValueError):
+            extra.emit(alert(callId="1"))
+
+    def test_join_of_join_output_merges_bindings(self):
+        left, right, first_join, first_sink = self.make_join()
+        third = Stream("third")
+        # the first join's output is a binding tuple, so the second join's
+        # predicate refers to the original variable $c1 directly
+        second_join = JoinOperator(
+            "pair",
+            "c3",
+            predicate=[(ValueRef.attribute("c1", "callId"),
+                        ValueRef.attribute("c3", "callId"))],
+        )
+        second_join.connect(first_join.output).connect(third)
+        sink = collect(second_join.output)
+        left.emit(alert(callId="5", caller="a.com"))
+        right.emit(alert(callId="5", server="m"))
+        third.emit(alert(callId="5", extra="yes"))
+        assert len(sink) == 1
+        binding = get_binding(sink[0])
+        assert set(binding) == {"c1", "c2", "c3"}
+
+
+class TestDuplicateRemoval:
+    def test_structural_dedup(self):
+        source = Stream("s")
+        dedup = DuplicateRemovalOperator()
+        dedup.connect(source)
+        sink = collect(dedup.output)
+        source.emit(alert(x="1"))
+        source.emit(alert(x="1"))
+        source.emit(alert(x="2"))
+        assert len(sink) == 2
+        assert dedup.distinct_count == 2
+
+    def test_custom_criterion(self):
+        source = Stream("s")
+        dedup = DuplicateRemovalOperator(criterion=lambda item: item.attrib.get("key"))
+        dedup.connect(source)
+        sink = collect(dedup.output)
+        source.emit(alert(key="a", payload="1"))
+        source.emit(alert(key="a", payload="2"))
+        assert len(sink) == 1
+
+
+class TestGroup:
+    def test_counts_by_key_and_emits_on_close(self):
+        source = Stream("s")
+        group = GroupOperator(key=ValueRef.attribute("item", "peer"))
+        group.connect(source)
+        sink = collect(group.output)
+        source.emit(alert(peer="a"))
+        source.emit(alert(peer="a"))
+        source.emit(alert(peer="b"))
+        assert sink == []
+        source.close()
+        assert len(sink) == 1
+        snapshot = sink[0]
+        assert snapshot.attrib["total"] == "3"
+        counts = {g.attrib["key"]: g.attrib["count"] for g in snapshot.children}
+        assert counts == {"a": "2", "b": "1"}
+
+    def test_periodic_emission(self):
+        source = Stream("s")
+        group = GroupOperator(key=lambda item: item.attrib.get("peer"), every=2)
+        group.connect(source)
+        sink = collect(group.output)
+        for i in range(4):
+            source.emit(alert(peer=f"p{i % 2}"))
+        assert len(sink) == 2
+
+    def test_missing_key_grouped_as_none(self):
+        source = Stream("s")
+        group = GroupOperator(key=ValueRef.attribute("item", "peer"))
+        group.connect(source)
+        source.emit(alert(other="x"))
+        source.close()
+        assert group.counts == {"(none)": 1}

@@ -1,0 +1,219 @@
+"""Tests for the P2PML-to-plan compiler."""
+
+import pytest
+
+from repro.algebra.plan import (
+    ALERTER,
+    DISTINCT,
+    FILTER,
+    JOIN,
+    PUBLISH,
+    RESTRUCTURE,
+    UNION,
+)
+from repro.p2pml import P2PMLCompileError, compile_text, parse_subscription, compile_subscription
+
+METEO = """
+for $c1 in outCOM(<p>a.com</p> <p>b.com</p>),
+    $c2 in inCOM(<p>meteo.com</p>)
+let $duration := $c1.responseTimestamp - $c1.callTimestamp
+where
+    $duration > 10 and
+    $c1.callMethod = "GetTemperature" and
+    $c1.callee = "http://meteo.com" and
+    $c1.callId = $c2.callId
+return
+    <incident type="slowAnswer">
+        <client>{$c1.caller}</client>
+        <tstamp>{$c2.callTimestamp}</tstamp>
+    </incident>
+by publish as channel "alertQoS";
+"""
+
+
+class TestMeteoPlan:
+    def test_overall_shape(self):
+        plan = compile_text(METEO, "meteo-qos")
+        assert plan.kind == PUBLISH
+        assert plan.params["mode"] == "channel"
+        assert plan.params["target"] == "alertQoS"
+        restructure = plan.children[0]
+        assert restructure.kind == RESTRUCTURE
+        join = restructure.children[0]
+        assert join.kind == JOIN
+        assert join.params["right_var"] == "c2"
+        assert len(join.params["predicate"]) == 1
+
+    def test_alerters_and_union(self):
+        plan = compile_text(METEO, "meteo-qos")
+        assert plan.count(ALERTER) == 3
+        union = plan.find_all(UNION)
+        assert len(union) == 1
+        assert {child.params["peer"] for child in union[0].children} == {"a.com", "b.com"}
+        alerter_kinds = {node.params["alerter"] for node in plan.find_all(ALERTER)}
+        assert alerter_kinds == {"outCOM", "inCOM"}
+
+    def test_alerters_are_placed_at_their_peers(self):
+        plan = compile_text(METEO, "meteo-qos")
+        for alerter in plan.find_all(ALERTER):
+            assert alerter.placement == alerter.params["peer"]
+
+    def test_per_variable_filters(self):
+        plan = compile_text(METEO, "meteo-qos")
+        filters = plan.find_all(FILTER)
+        # only $c1 carries local conditions; $c2 is joined unfiltered
+        assert len(filters) == 1
+        c1 = filters[0].params["subscription"]
+        assert filters[0].params["var"] == "c1"
+        # two simple conditions plus the LET-derived computed one
+        assert len(c1.simple) == 2
+        assert len(c1.computed) == 1
+        assert c1.computed[0].op == ">"
+        assert c1.computed[0].value == 10.0
+
+    def test_join_predicate_refs(self):
+        plan = compile_text(METEO, "meteo-qos")
+        join = plan.find_all(JOIN)[0]
+        (left_ref, right_ref), = join.params["predicate"]
+        assert str(left_ref) == "$c1.callId"
+        assert str(right_ref) == "$c2.callId"
+
+    def test_template_variables(self):
+        plan = compile_text(METEO, "meteo-qos")
+        template = plan.find_all(RESTRUCTURE)[0].params["template"]
+        assert template.variables() == {"c1", "c2"}
+
+
+class TestSingleSourceSubscriptions:
+    def test_single_peer_no_union(self):
+        plan = compile_text(
+            'for $e in inCOM(<p>meteo.com</p>) where $e.callMethod = "Get" '
+            "return <hit>{$e.callId}</hit>"
+        )
+        assert plan.count(UNION) == 0
+        assert plan.count(ALERTER) == 1
+        assert plan.kind == PUBLISH
+        assert plan.params["mode"] == "local"
+
+    def test_identity_return(self):
+        plan = compile_text(
+            "for $e in outCOM(<p>local</p>) "
+            "let $duration := $e.responseTimestamp - $e.callTimestamp "
+            'where $duration > 10 and $e.callMethod = "GetTemperature" '
+            "return $e by channel X and subscribe(b.com, #X, X)"
+        )
+        assert plan.count(RESTRUCTURE) == 0
+        assert plan.params["mode"] == "channel"
+        assert plan.params["target"] == "X"
+        assert plan.params["subscriber"] == ("b.com", "X", "X")
+        # 'local' peer placement resolved later
+        assert plan.find_all(ALERTER)[0].placement is None
+
+    def test_distinct_adds_node(self):
+        plan = compile_text(
+            "for $y in rssFeed(<p>news.com</p>) return distinct <a>{$y}</a>"
+        )
+        assert plan.count(DISTINCT) == 1
+
+    def test_path_condition_becomes_complex_query(self):
+        plan = compile_text(
+            "for $c1 in inCOM(<p>a.com</p>) "
+            'where $c1/alert[@callMethod = "GetTemperature"] '
+            "return <hit>{$c1.callId}</hit>"
+        )
+        subscription = plan.find_all(FILTER)[0].params["subscription"]
+        assert len(subscription.complex_queries) == 1
+        assert subscription.complex_queries[0].variable == "c1"
+
+    def test_path_equality_condition(self):
+        plan = compile_text(
+            "for $c1 in inCOM(<p>a.com</p>) "
+            "where $c1/soap/method = \"GetTemperature\" "
+            "return <hit>{$c1.callId}</hit>"
+        )
+        subscription = plan.find_all(FILTER)[0].params["subscription"]
+        assert "text() = 'GetTemperature'" in subscription.complex_queries[0].expression
+
+    def test_literal_on_left_is_normalised(self):
+        plan = compile_text(
+            'for $e in inCOM(<p>a.com</p>) where "GetTemperature" = $e.callMethod '
+            "return <x>{$e.callId}</x>"
+        )
+        subscription = plan.find_all(FILTER)[0].params["subscription"]
+        assert subscription.simple[0].attribute == "callMethod"
+        assert subscription.simple[0].op == "="
+
+    def test_same_variable_attribute_comparison(self):
+        plan = compile_text(
+            "for $e in inCOM(<p>a.com</p>) where $e.sent < $e.received "
+            "return <x>{$e.callId}</x>"
+        )
+        subscription = plan.find_all(FILTER)[0].params["subscription"]
+        assert len(subscription.computed) == 1
+
+
+class TestNestedAndMembership:
+    def test_nested_subscription_plan(self):
+        plan = compile_text(
+            "for $x in ( for $y in rssFeed(<p>news.com</p>) return <a>{$y}</a> ) "
+            'where $x.kind = "add" return <fresh>{$x}</fresh>'
+        )
+        # nested plan contributes its restructure but not a publisher
+        assert plan.count(PUBLISH) == 1
+        assert plan.count(RESTRUCTURE) == 2
+        assert plan.count(ALERTER) == 1
+
+    def test_membership_driven_alerter(self):
+        plan = compile_text(
+            "for $j in areRegistered(<p>s.com</p>), $c in inCOM($j) "
+            'where $c.callMethod = "Get" return <seen>{$c.caller}</seen>'
+        )
+        alerters = plan.find_all(ALERTER)
+        dynamic = [node for node in alerters if node.params.get("membership_var")]
+        assert len(dynamic) == 1
+        assert dynamic[0].params["membership_var"] == "j"
+        # the membership variable is not joined into the output
+        assert plan.count(JOIN) == 0
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # unknown variable in WHERE
+            'for $x in inCOM(<p>a</p>) where $y.a = "1" return <r>{$x}</r>',
+            # unknown variable in template
+            "for $x in inCOM(<p>a</p>) return <r>{$nope.a}</r>",
+            # cross-variable inequality
+            "for $x in inCOM(<p>a</p>), $y in inCOM(<p>b</p>) "
+            "where $x.id = $y.id and $x.t < $y.t return <r/>",
+            # no join condition between variables
+            "for $x in inCOM(<p>a</p>), $y in inCOM(<p>b</p>) "
+            'where $x.a = "1" and $y.b = "2" return <r/>',
+            # condition without any stream variable
+            'for $x in inCOM(<p>a</p>) where "a" = "a" return <r>{$x}</r>',
+            # LET mixing two stream variables used in a filter condition
+            "for $x in inCOM(<p>a</p>), $y in outCOM(<p>b</p>) "
+            "let $d := $x.t - $y.t where $d > 5 and $x.id = $y.id return <r/>",
+            # LET compared to a non-number
+            "for $x in inCOM(<p>a</p>) let $d := $x.t where $d > 'abc' "
+            "return <r>{$x}</r>",
+            # membership variable that does not exist
+            "for $c in inCOM($ghost) return <r>{$c}</r>",
+        ],
+    )
+    def test_invalid_subscriptions_rejected(self, text):
+        with pytest.raises(P2PMLCompileError):
+            compile_text(text)
+
+    def test_duplicate_variables_rejected(self):
+        ast = parse_subscription(
+            "for $x in inCOM(<p>a</p>), $x in inCOM(<p>b</p>) return <r>{$x}</r>"
+        )
+        with pytest.raises(P2PMLCompileError):
+            compile_subscription(ast)
+
+    def test_alerter_without_peers_rejected(self):
+        ast = parse_subscription("for $x in inCOM(<q>not-a-peer</q>) return <r>{$x}</r>")
+        with pytest.raises(P2PMLCompileError):
+            compile_subscription(ast)

@@ -1,0 +1,136 @@
+"""Tests for the preFilter and the AES hash-tree."""
+
+from repro.filtering import (
+    AESFilter,
+    ConditionRegistry,
+    FilterSubscription,
+    PreFilter,
+    SimpleCondition,
+)
+from repro.xmlmodel import Element, XPath
+
+
+def c(attribute: str, op: str, value: str) -> SimpleCondition:
+    return SimpleCondition(attribute, op, value)
+
+
+class TestPreFilter:
+    def test_returns_sorted_satisfied_ids(self):
+        registry = ConditionRegistry()
+        ids = [
+            registry.register(c("method", "=", "GetTemperature")),
+            registry.register(c("callee", "=", "meteo")),
+            registry.register(c("duration", ">", "10")),
+        ]
+        prefilter = PreFilter(registry)
+        item = Element("alert", {"method": "GetTemperature", "duration": "20"})
+        satisfied = prefilter.satisfied_conditions(item)
+        assert satisfied == sorted([ids[0], ids[2]])
+
+    def test_only_root_attributes_are_considered(self):
+        registry = ConditionRegistry()
+        registry.register(c("inner", "=", "1"))
+        prefilter = PreFilter(registry)
+        item = Element("alert", {}, [Element("child", {"inner": "1"})])
+        assert prefilter.satisfied_conditions(item) == []
+
+    def test_conditions_added_after_construction_are_seen(self):
+        registry = ConditionRegistry()
+        prefilter = PreFilter(registry)
+        assert prefilter.satisfied_conditions(Element("a", {"x": "1"})) == []
+        new_id = registry.register(c("x", "=", "1"))
+        assert prefilter.satisfied_conditions(Element("a", {"x": "1"})) == [new_id]
+
+    def test_counters(self):
+        registry = ConditionRegistry()
+        registry.register(c("x", "=", "1"))
+        registry.register(c("y", "=", "2"))
+        prefilter = PreFilter(registry)
+        prefilter.satisfied_conditions(Element("a", {"x": "1"}))
+        assert prefilter.documents_processed == 1
+        # only the condition on the present attribute was evaluated
+        assert prefilter.conditions_evaluated == 1
+        prefilter.reset_counters()
+        assert prefilter.documents_processed == 0
+
+
+class TestAESFilter:
+    def build_paper_example(self):
+        """The Q1..Q6 example of Section 4 (Figure 6)."""
+        registry = ConditionRegistry()
+        c1 = c("a1", "=", "v1")
+        c2 = c("a2", "=", "v2")
+        c3 = c("a3", "=", "v3")
+        c4 = c("a4", "=", "v4")
+        # register in order so ids follow the paper's numbering
+        for cond in (c1, c2, c3, c4):
+            registry.register(cond)
+        query = XPath.compile("//q")
+        subs = [
+            FilterSubscription("Q1", [c1, c2], [query]),
+            FilterSubscription("Q2", [c1, c2], [query]),
+            FilterSubscription("Q3", [c3], [query]),
+            FilterSubscription("Q4", [c1, c3], [query]),
+            FilterSubscription("Q5", [c1]),
+            FilterSubscription("Q6", [c1, c2, c4], [query]),
+        ]
+        aes = AESFilter(registry)
+        aes.add_subscriptions(subs)
+        return registry, aes
+
+    def test_paper_example_match(self):
+        registry, aes = self.build_paper_example()
+        # document satisfies C1 and C3 (ids 0 and 2)
+        match = aes.match([0, 2])
+        assert set(match.simple_matches) == {"Q5"}
+        assert set(match.active_complex) == {"Q3", "Q4"}
+
+    def test_all_conditions_satisfied(self):
+        registry, aes = self.build_paper_example()
+        match = aes.match([0, 1, 2, 3])
+        assert set(match.simple_matches) == {"Q5"}
+        assert set(match.active_complex) == {"Q1", "Q2", "Q3", "Q4", "Q6"}
+
+    def test_no_conditions_satisfied(self):
+        registry, aes = self.build_paper_example()
+        match = aes.match([])
+        assert match.simple_matches == []
+        assert match.active_complex == []
+
+    def test_partial_prefix_not_matched(self):
+        registry, aes = self.build_paper_example()
+        # C2 alone: no subscription has {C2} as its full simple-condition set
+        match = aes.match([1])
+        assert match.all_ids() == []
+
+    def test_subscription_without_simple_conditions_always_active(self):
+        registry = ConditionRegistry()
+        aes = AESFilter(registry)
+        aes.add_subscription(FilterSubscription("pure", [], [XPath.compile("//x")]))
+        aes.add_subscription(FilterSubscription("trivial", [], []))
+        match = aes.match([])
+        assert match.simple_matches == ["trivial"]
+        assert match.active_complex == ["pure"]
+
+    def test_node_count_shows_prefix_sharing(self):
+        registry, aes = self.build_paper_example()
+        # sequences: [0,1] x2, [2], [0,2], [0], [0,1,3] -> distinct prefixes:
+        # root, 0, 0-1, 0-1-3, 0-2, 2  => 6 nodes including root
+        assert aes.node_count() == 6
+
+    def test_subscription_count(self):
+        registry, aes = self.build_paper_example()
+        assert aes.subscription_count == 6
+
+    def test_satisfied_superset_matches(self):
+        registry = ConditionRegistry()
+        cond_a = c("a", "=", "1")
+        cond_b = c("b", "=", "2")
+        registry.register(cond_a)
+        registry.register(cond_b)
+        aes = AESFilter(registry)
+        aes.add_subscription(FilterSubscription("just-b", [cond_b]))
+        # satisfied = {a, b} -- the subscription on b alone must still match,
+        # even though a precedes b in the global order
+        match = aes.match([0, 1])
+        assert match.simple_matches == ["just-b"]

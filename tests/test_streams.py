@@ -1,0 +1,109 @@
+"""Tests for the push-based Stream abstraction."""
+
+import pytest
+
+from repro.streams import EOS, Stream, StreamClosedError, collect, is_eos
+from repro.xmlmodel import Element
+
+
+class TestEOS:
+    def test_singleton(self):
+        from repro.streams.item import EndOfStream
+
+        assert EndOfStream() is EOS
+        assert is_eos(EOS)
+        assert not is_eos(Element("a"))
+        assert repr(EOS) == "EOS"
+
+
+class TestStream:
+    def test_qualified_id(self):
+        assert Stream("s1", "p1").qualified_id == "s1@p1"
+        assert Stream("s1").qualified_id == "s1@local"
+
+    def test_emit_delivers_to_all_subscribers(self):
+        stream = Stream("s", "p")
+        seen_a, seen_b = [], []
+        stream.subscribe(seen_a.append)
+        stream.subscribe(seen_b.append)
+        item = Element("alert")
+        stream.emit(item)
+        assert seen_a == [item]
+        assert seen_b == [item]
+
+    def test_emit_rejects_non_element(self):
+        with pytest.raises(TypeError):
+            Stream("s").emit("not xml")  # type: ignore[arg-type]
+
+    def test_close_sends_eos_and_blocks_emit(self):
+        stream = Stream("s")
+        seen = []
+        stream.subscribe(seen.append)
+        stream.close()
+        assert seen == [EOS]
+        assert stream.closed
+        with pytest.raises(StreamClosedError):
+            stream.emit(Element("a"))
+
+    def test_double_close_is_idempotent(self):
+        stream = Stream("s")
+        seen = []
+        stream.subscribe(seen.append)
+        stream.close()
+        stream.close()
+        assert seen == [EOS]
+
+    def test_unsubscribe(self):
+        stream = Stream("s")
+        seen = []
+        unsubscribe = stream.subscribe(seen.append)
+        stream.emit(Element("one"))
+        unsubscribe()
+        unsubscribe()  # second call is a no-op
+        stream.emit(Element("two"))
+        assert len(seen) == 1
+        assert stream.subscriber_count == 0
+
+    def test_stats_counting(self):
+        stream = Stream("s")
+        stream.emit(Element("a", {"k": "v"}))
+        stream.emit(Element("b"))
+        assert stream.stats.items == 2
+        assert stream.stats.bytes > 0
+
+    def test_history_kept_only_when_requested(self):
+        plain = Stream("s")
+        plain.emit(Element("a"))
+        assert plain.history == []
+        hist = Stream("s", keep_history=True)
+        hist.emit(Element("a"))
+        assert len(hist.history) == 1
+
+    def test_emit_many(self):
+        stream = Stream("s")
+        seen = collect(stream)
+        stream.emit_many([Element("a"), Element("b"), Element("c")])
+        assert [e.tag for e in seen] == ["a", "b", "c"]
+
+    def test_push_routes_items_and_eos(self):
+        upstream = Stream("up")
+        downstream = Stream("down")
+        upstream.subscribe(downstream.push)
+        seen = collect(downstream)
+        upstream.emit(Element("x"))
+        upstream.close()
+        assert [e.tag for e in seen] == ["x"]
+        assert downstream.closed
+
+    def test_collect_ignores_eos(self):
+        stream = Stream("s")
+        seen = collect(stream)
+        stream.emit(Element("a"))
+        stream.close()
+        assert len(seen) == 1
+
+    def test_repr_mentions_state(self):
+        stream = Stream("s", "p")
+        assert "open" in repr(stream)
+        stream.close()
+        assert "closed" in repr(stream)

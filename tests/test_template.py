@@ -1,0 +1,154 @@
+"""Tests for bindings, value references and RETURN-clause templates."""
+
+from repro.algebra import (
+    RestructureTemplate,
+    ValueRef,
+    get_binding,
+    is_tuple_item,
+    make_tuple_item,
+)
+from repro.algebra.template import merge_tuple_items, parse_value_ref
+from repro.xmlmodel import Element, parse_xml
+
+
+def sample_alert() -> Element:
+    return parse_xml(
+        '<alert caller="http://a.com" callTimestamp="100" callId="7">'
+        "<soap><method>GetTemperature</method></soap>"
+        "</alert>"
+    )
+
+
+class TestTupleItems:
+    def test_roundtrip(self):
+        binding = {"c1": sample_alert(), "c2": Element("other", {"x": "1"})}
+        item = make_tuple_item(binding)
+        assert is_tuple_item(item)
+        decoded = get_binding(item)
+        assert set(decoded) == {"c1", "c2"}
+        assert decoded["c1"].attrib["callId"] == "7"
+
+    def test_raw_item_binds_default_var(self):
+        alert = sample_alert()
+        assert get_binding(alert, "c1") == {"c1": alert}
+        assert "item" in get_binding(alert)
+
+    def test_merge_tuple_items(self):
+        left = sample_alert()
+        right = Element("serverAlert", {"callId": "7"})
+        merged = merge_tuple_items(left, right, "c1", "c2")
+        binding = get_binding(merged)
+        assert binding["c1"].tag == "alert"
+        assert binding["c2"].tag == "serverAlert"
+
+    def test_merge_with_existing_tuple(self):
+        first = make_tuple_item({"a": Element("x"), "b": Element("y")})
+        merged = merge_tuple_items(first, Element("z"), "ab", "c")
+        assert set(get_binding(merged)) == {"a", "b", "c"}
+
+
+class TestValueRef:
+    def test_attribute_reference(self):
+        ref = ValueRef.attribute("c1", "caller")
+        assert ref.value({"c1": sample_alert()}) == "http://a.com"
+        assert ref.value({"c1": Element("alert")}) is None
+        assert ref.value({}) is None
+
+    def test_path_reference(self):
+        ref = ValueRef.path("c1", "soap/method")
+        assert ref.value({"c1": sample_alert()}) == "GetTemperature"
+
+    def test_whole_reference_and_node(self):
+        alert = sample_alert()
+        ref = ValueRef.whole("c1")
+        assert ref.node({"c1": alert}) is alert
+        assert ValueRef.path("c1", "soap").node({"c1": alert}).tag == "soap"
+        assert ValueRef.attribute("c1", "caller").node({"c1": alert}) is None
+
+    def test_literal(self):
+        assert ValueRef.literal("42").value({}) == "42"
+
+    def test_str_forms(self):
+        assert str(ValueRef.attribute("c1", "caller")) == "$c1.caller"
+        assert str(ValueRef.path("c1", "soap/method")) == "$c1/soap/method"
+        assert str(ValueRef.whole("x")) == "$x"
+        assert str(ValueRef.literal("7")) == "'7'"
+
+
+class TestParseValueRef:
+    def test_dot_notation(self):
+        ref = parse_value_ref("$c1.callMethod")
+        assert ref.kind == "attribute" and ref.var == "c1" and ref.detail == "callMethod"
+
+    def test_path_notation(self):
+        ref = parse_value_ref("$c2/soap/method")
+        assert ref.kind == "path" and ref.var == "c2"
+
+    def test_whole_variable(self):
+        ref = parse_value_ref("$y")
+        assert ref.kind == "self" and ref.var == "y"
+
+    def test_literal(self):
+        assert parse_value_ref("'hello'").detail == "hello"
+
+
+class TestRestructureTemplate:
+    def test_paper_return_clause(self):
+        # <incident type="slowAnswer"><client>{$c1.caller}</client>
+        #   <tstamp>{$c2.callTimestamp}</tstamp></incident>
+        skeleton = Element(
+            "incident",
+            {"type": "slowAnswer"},
+            [
+                Element("client", text="{$c1.caller}"),
+                Element("tstamp", text="{$c2.callTimestamp}"),
+            ],
+        )
+        template = RestructureTemplate(skeleton)
+        binding = {
+            "c1": sample_alert(),
+            "c2": Element("serverAlert", {"callTimestamp": "250"}),
+        }
+        output = template.instantiate(binding)
+        assert output.attrib["type"] == "slowAnswer"
+        assert output.find("client").text == "http://a.com"
+        assert output.find("tstamp").text == "250"
+
+    def test_attribute_holes(self):
+        skeleton = Element("out", {"who": "{$c1.caller}", "fixed": "yes"})
+        output = RestructureTemplate(skeleton).instantiate({"c1": sample_alert()})
+        assert output.attrib == {"who": "http://a.com", "fixed": "yes"}
+
+    def test_whole_variable_embeds_subtree(self):
+        skeleton = Element("wrap", children=[Element("copy", text="{$e}")])
+        output = RestructureTemplate(skeleton).instantiate({"e": sample_alert()})
+        assert output.find("copy").find("alert").attrib["callId"] == "7"
+
+    def test_path_hole_embeds_subtree(self):
+        skeleton = Element("wrap", text="{$e/soap}")
+        output = RestructureTemplate(skeleton).instantiate({"e": sample_alert()})
+        assert output.find("soap").find("method").text == "GetTemperature"
+
+    def test_missing_variable_becomes_empty(self):
+        skeleton = Element("out", {"x": "{$nope.attr}"}, text="{$nope.attr}")
+        output = RestructureTemplate(skeleton).instantiate({})
+        assert output.attrib["x"] == ""
+        assert output.text == ""
+
+    def test_plain_text_preserved(self):
+        skeleton = Element("out", text="static text")
+        assert RestructureTemplate(skeleton).instantiate({}).text == "static text"
+
+    def test_variables_listing(self):
+        skeleton = Element(
+            "incident",
+            {"a": "{$c1.caller}"},
+            [Element("t", text="{$c2.ts}"), Element("s", text="static")],
+        )
+        assert RestructureTemplate(skeleton).variables() == {"c1", "c2"}
+
+    def test_instantiation_does_not_mutate_skeleton(self):
+        skeleton = Element("out", text="{$c1.caller}")
+        template = RestructureTemplate(skeleton)
+        template.instantiate({"c1": sample_alert()})
+        assert skeleton.text == "{$c1.caller}"

@@ -1,0 +1,157 @@
+"""Tests for the Element tree model."""
+
+import pytest
+
+from repro.xmlmodel import Element, element, text_of
+
+
+def make_alert() -> Element:
+    alert = Element("alert", {"callId": "42", "caller": "http://a.com"})
+    alert.append(Element("payload", text="hello"))
+    alert.append(Element("payload", text="world"))
+    alert.append(Element("meta", {"k": "v"}))
+    return alert
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        node = Element("alert", {"callId": 42}, text="body")
+        assert node.tag == "alert"
+        assert node.attrib == {"callId": "42"}
+        assert node.text == "body"
+        assert node.children == []
+
+    def test_rejects_empty_tag(self):
+        with pytest.raises(ValueError):
+            Element("")
+
+    def test_rejects_non_string_tag(self):
+        with pytest.raises(ValueError):
+            Element(None)  # type: ignore[arg-type]
+
+    def test_rejects_non_element_child(self):
+        with pytest.raises(TypeError):
+            Element("a", children=["not an element"])  # type: ignore[list-item]
+
+    def test_append_rejects_non_element(self):
+        with pytest.raises(TypeError):
+            Element("a").append("x")  # type: ignore[arg-type]
+
+    def test_element_helper(self):
+        node = element("incident", "text body", type="slowAnswer")
+        assert node.tag == "incident"
+        assert node.attrib == {"type": "slowAnswer"}
+        assert node.text == "text body"
+
+    def test_append_returns_child(self):
+        parent = Element("a")
+        child = parent.append(Element("b"))
+        assert child.tag == "b"
+        assert parent.children == [child]
+
+    def test_extend(self):
+        parent = Element("a")
+        parent.extend([Element("b"), Element("c")])
+        assert [c.tag for c in parent.children] == ["b", "c"]
+
+    def test_set_and_get(self):
+        node = Element("a")
+        node.set("x", 10)
+        assert node.get("x") == "10"
+        assert node.get("missing") is None
+        assert node.get("missing", "d") == "d"
+
+
+class TestNavigation:
+    def test_find_first_match(self):
+        alert = make_alert()
+        assert alert.find("payload").text == "hello"
+        assert alert.find("absent") is None
+
+    def test_findall(self):
+        alert = make_alert()
+        assert len(alert.findall("payload")) == 2
+        assert alert.findall("absent") == []
+
+    def test_iter_all(self):
+        alert = make_alert()
+        assert [n.tag for n in alert.iter()] == ["alert", "payload", "payload", "meta"]
+
+    def test_iter_with_tag(self):
+        alert = make_alert()
+        assert len(list(alert.iter("payload"))) == 2
+
+    def test_descendants_excludes_self(self):
+        alert = make_alert()
+        assert [n.tag for n in alert.descendants()] == ["payload", "payload", "meta"]
+
+    def test_child_text(self):
+        alert = make_alert()
+        assert alert.child_text("payload") == "hello"
+        assert alert.child_text("meta", "fallback") == "fallback"
+        assert alert.child_text("absent") is None
+
+    def test_indexing_len_iter(self):
+        alert = make_alert()
+        assert len(alert) == 3
+        assert alert[0].tag == "payload"
+        assert [c.tag for c in alert] == ["payload", "payload", "meta"]
+
+
+class TestMeasurement:
+    def test_size(self):
+        assert make_alert().size() == 4
+        assert Element("leaf").size() == 1
+
+    def test_depth(self):
+        nested = Element("a", children=[Element("b", children=[Element("c")])])
+        assert nested.depth() == 3
+        assert Element("leaf").depth() == 1
+
+    def test_weight_positive_and_monotone(self):
+        small = Element("a")
+        big = make_alert()
+        assert small.weight() > 0
+        assert big.weight() > small.weight()
+
+
+class TestEqualityAndCopy:
+    def test_copy_is_deep_and_equal(self):
+        alert = make_alert()
+        clone = alert.copy()
+        assert clone == alert
+        clone.children[0].text = "changed"
+        assert clone != alert
+        assert alert.children[0].text == "hello"
+
+    def test_equality_ignores_attr_order(self):
+        a = Element("x", {"p": "1", "q": "2"})
+        b = Element("x", {"q": "2", "p": "1"})
+        assert a == b
+
+    def test_inequality_on_tag_attr_text_children(self):
+        base = Element("x", {"a": "1"}, text="t")
+        assert base != Element("y", {"a": "1"}, text="t")
+        assert base != Element("x", {"a": "2"}, text="t")
+        assert base != Element("x", {"a": "1"}, text="other")
+        assert base != Element("x", {"a": "1"}, [Element("c")], text="t")
+
+    def test_none_text_equals_empty_text(self):
+        assert Element("x") == Element("x", text=None)
+
+    def test_structural_key_hashable(self):
+        alert = make_alert()
+        assert hash(alert) == hash(alert.copy())
+        assert {alert, alert.copy()} == {alert}
+
+    def test_not_equal_to_other_types(self):
+        assert Element("x") != "x"
+
+
+def test_text_of_concatenates_depth_first():
+    root = Element("a", text="1", children=[
+        Element("b", text="2"),
+        Element("c", children=[Element("d", text="3")]),
+    ])
+    assert text_of(root) == "123"
+    assert text_of(None) == ""

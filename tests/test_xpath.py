@@ -1,0 +1,159 @@
+"""Tests for the XPath subset engine."""
+
+import pytest
+
+from repro.xmlmodel import Element, XPath, XPathError, parse_xml, xpath_matches, xpath_select
+
+
+@pytest.fixture
+def stream_db_entry() -> Element:
+    return parse_xml(
+        """
+        <Stream PeerId="p1" StreamId="s3" isAChannel="true">
+          <Operator><Filter/></Operator>
+          <Operands>
+            <Operand OPeerId="p1" OStreamId="s1"/>
+          </Operands>
+          <Stats avgVolume="120"/>
+        </Stream>
+        """
+    )
+
+
+@pytest.fixture
+def alert() -> Element:
+    return parse_xml(
+        """
+        <alert callMethod="GetTemperature" callee="http://meteo.com" callId="9">
+          <soap><body><c><d>payload</d></c></body></soap>
+        </alert>
+        """
+    )
+
+
+class TestCompile:
+    def test_simple_absolute(self):
+        path = XPath.compile("/Stream/Operator")
+        assert path.absolute
+        assert [s.test for s in path.steps] == ["Stream", "Operator"]
+        assert [s.axis for s in path.steps] == ["child", "child"]
+
+    def test_descendant_axis(self):
+        path = XPath.compile("//a//b")
+        assert [s.axis for s in path.steps] == ["descendant", "descendant"]
+
+    def test_variable_prefix(self):
+        path = XPath.compile("$c1/alert[@callMethod = 'GetTemperature']")
+        assert path.variable == "c1"
+        assert path.steps[0].test == "alert"
+        assert len(path.steps[0].predicates) == 1
+
+    def test_is_linear(self):
+        assert XPath.compile("//a/b/c").is_linear()
+        assert not XPath.compile("/a[@x='1']").is_linear()
+
+    @pytest.mark.parametrize("bad", ["", "   ", "/a[", "/a[@x=]", "/a]", "/", "a/[x]"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(XPathError):
+            XPath.compile(bad)
+
+    def test_equality_and_hash(self):
+        assert XPath.compile("/a/b") == XPath.compile("/a/b")
+        assert XPath.compile("/a/b") != XPath.compile("/a//b")
+        assert hash(XPath.compile("//x")) == hash(XPath.compile("//x"))
+
+
+class TestSelect:
+    def test_absolute_child_path(self, stream_db_entry):
+        results = xpath_select("/Stream/Operands/Operand", stream_db_entry)
+        assert len(results) == 1
+        assert results[0].attrib["OPeerId"] == "p1"
+
+    def test_root_name_mismatch(self, stream_db_entry):
+        assert xpath_select("/Other/Operator", stream_db_entry) == []
+
+    def test_descendant_search(self, alert):
+        results = xpath_select("//d", alert)
+        assert len(results) == 1
+        assert results[0].text == "payload"
+
+    def test_wildcard(self, stream_db_entry):
+        results = xpath_select("/Stream/*", stream_db_entry)
+        assert [r.tag for r in results] == ["Operator", "Operands", "Stats"]
+
+    def test_attribute_selection(self, stream_db_entry):
+        results = xpath_select("/Stream/Stats/@avgVolume", stream_db_entry)
+        assert results == ["120"]
+
+    def test_text_selection(self, alert):
+        assert xpath_select("//d/text()", alert) == ["payload"]
+
+    def test_first_and_matches(self, alert):
+        path = XPath.compile("//c/d")
+        assert path.matches(alert)
+        assert path.first(alert).text == "payload"
+        assert XPath.compile("//nothing").first(alert) is None
+
+
+class TestPredicates:
+    def test_attribute_equality(self, stream_db_entry):
+        assert xpath_matches("/Stream[@PeerId = 'p1']", stream_db_entry)
+        assert not xpath_matches("/Stream[@PeerId = 'p2']", stream_db_entry)
+
+    def test_existence_predicate(self, stream_db_entry):
+        assert xpath_matches("/Stream[Operator/Filter]", stream_db_entry)
+        assert not xpath_matches("/Stream[Operator/Join]", stream_db_entry)
+
+    def test_multiple_predicates_conjunction(self, stream_db_entry):
+        query = (
+            "/Stream[Operator/Filter]"
+            "[Operands/Operand[@OPeerId='p1'][@OStreamId='s1']]"
+        )
+        assert xpath_matches(query, stream_db_entry)
+        wrong = (
+            "/Stream[Operator/Filter]"
+            "[Operands/Operand[@OPeerId='p1'][@OStreamId='s9']]"
+        )
+        assert not xpath_matches(wrong, stream_db_entry)
+
+    def test_numeric_comparison(self, stream_db_entry):
+        assert xpath_matches("/Stream/Stats[@avgVolume > 100]", stream_db_entry)
+        assert not xpath_matches("/Stream/Stats[@avgVolume > 200]", stream_db_entry)
+        assert xpath_matches("/Stream/Stats[@avgVolume <= 120]", stream_db_entry)
+
+    def test_and_or_inside_predicate(self, stream_db_entry):
+        assert xpath_matches(
+            "/Stream[@PeerId='p1' and @StreamId='s3']", stream_db_entry
+        )
+        assert xpath_matches(
+            "/Stream[@PeerId='zzz' or @StreamId='s3']", stream_db_entry
+        )
+        assert not xpath_matches(
+            "/Stream[@PeerId='zzz' and @StreamId='s3']", stream_db_entry
+        )
+
+    def test_not_equal(self, stream_db_entry):
+        assert xpath_matches("/Stream[@PeerId != 'p9']", stream_db_entry)
+
+    def test_text_predicate(self):
+        doc = parse_xml("<feed><entry><title>news</title></entry></feed>")
+        assert xpath_matches("/feed/entry[title = 'news']", doc)
+        assert not xpath_matches("/feed/entry[title = 'other']", doc)
+
+    def test_paper_filter_query(self, alert):
+        # the complex part of "$item.attr1=... and $item//c/d"
+        assert xpath_matches("//c/d", alert)
+
+
+class TestRelativeEvaluation:
+    def test_variable_path_relative_to_item(self, alert):
+        # $c1/alert[...] where $c1 is bound to the alert item itself
+        path = XPath.compile("$c1/alert[@callMethod = 'GetTemperature']")
+        # absolute-style evaluation: first step matches the item root
+        assert path.matches(alert)
+
+    def test_relative_path_from_context(self, alert):
+        path = XPath.compile("soap/body")
+        results = path.select(alert, relative=True)
+        assert len(results) == 1
+        assert results[0].tag == "body"

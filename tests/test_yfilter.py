@@ -1,0 +1,181 @@
+"""Tests for the YFilter-style shared-prefix NFA."""
+
+import pytest
+
+from repro.filtering import YFilterSigma
+from repro.xmlmodel import Element, parse_xml
+
+
+@pytest.fixture
+def soap_alert() -> Element:
+    return parse_xml(
+        """
+        <alert callId="7" callMethod="GetTemperature">
+          <soap>
+            <envelope>
+              <body><c><d>28</d></c></body>
+            </envelope>
+          </soap>
+          <error code="none"/>
+        </alert>
+        """
+    )
+
+
+class TestStructuralMatching:
+    def test_absolute_child_path(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("q1", "/alert/soap/envelope")
+        nfa.add_query("q2", "/alert/missing")
+        assert nfa.match(soap_alert) == {"q1"}
+
+    def test_descendant_paths(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("deep", "//c/d")
+        nfa.add_query("anywhere", "//error")
+        nfa.add_query("nothere", "//x/y")
+        assert nfa.match(soap_alert) == {"deep", "anywhere"}
+
+    def test_descendant_matches_root_itself(self):
+        nfa = YFilterSigma()
+        nfa.add_query("root", "//alert")
+        assert nfa.match(Element("alert")) == {"root"}
+
+    def test_wildcard_steps(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("w1", "/alert/*/envelope")
+        nfa.add_query("w2", "/*/soap")
+        nfa.add_query("w3", "/alert/*/*/body")
+        assert nfa.match(soap_alert) == {"w1", "w2", "w3"}
+
+    def test_descendant_after_descendant(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "//envelope//d")
+        nfa.add_query("q2", "//d//envelope")
+        assert nfa.match(soap_alert) == {"q"}
+
+    def test_descendant_then_child(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "//body/c")
+        nfa.add_query("bad", "//body/d")
+        assert nfa.match(soap_alert) == {"q"}
+
+    def test_mixed_child_descendant(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "/alert//body")
+        assert nfa.match(soap_alert) == {"q"}
+
+    def test_no_queries(self, soap_alert):
+        assert YFilterSigma().match(soap_alert) == set()
+
+    def test_duplicate_query_id_rejected(self):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "//a")
+        with pytest.raises(ValueError):
+            nfa.add_query("q", "//b")
+
+
+class TestPredicatesAndVerification:
+    def test_attribute_predicate(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("match", "/alert[@callMethod = 'GetTemperature']")
+        nfa.add_query("reject", "/alert[@callMethod = 'GetHumidity']")
+        assert nfa.match(soap_alert) == {"match"}
+
+    def test_attribute_final_step(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("has-code", "//error/@code")
+        nfa.add_query("no-attr", "//soap/@missing")
+        assert nfa.match(soap_alert) == {"has-code"}
+
+    def test_text_final_step(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("text", "//d/text()")
+        assert nfa.match(soap_alert) == {"text"}
+
+    def test_predicate_with_path_condition(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "/alert[error]/soap")
+        nfa.add_query("q2", "/alert[warning]/soap")
+        assert nfa.match(soap_alert) == {"q"}
+
+    def test_numeric_predicate(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "//d[text() >= 20]")
+        nfa.add_query("q2", "//d[text() >= 99]")
+        assert nfa.match(soap_alert) == {"q"}
+
+
+class TestVirtualPruning:
+    def test_only_active_queries_reported(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("a", "//c/d")
+        nfa.add_query("b", "//error")
+        assert nfa.match(soap_alert, active_queries={"a"}) == {"a"}
+        assert nfa.match(soap_alert, active_queries={"b"}) == {"b"}
+        assert nfa.match(soap_alert, active_queries=set()) == set()
+
+    def test_active_set_with_nonmatching_query(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("nope", "//x/y/z")
+        assert nfa.match(soap_alert, active_queries={"nope"}) == set()
+
+
+class TestSharing:
+    def test_shared_prefixes_create_fewer_states(self):
+        shared = YFilterSigma()
+        for i in range(50):
+            shared.add_query(f"q{i}", f"/a/b/c/leaf{i}")
+        unshared = YFilterSigma()
+        for i in range(50):
+            unshared.add_query(f"q{i}", f"/root{i}/b/c/leaf{i}")
+        # 50 queries share the /a/b/c prefix: 3 + 50 states (+initial)
+        assert shared.states_created < unshared.states_created
+
+    def test_query_count_and_lookup(self):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "//a")
+        assert nfa.query_count == 1
+        assert nfa.query("q").expression == "//a"
+
+    def test_elements_processed_counter(self, soap_alert):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "//d")
+        nfa.match(soap_alert)
+        assert nfa.elements_processed == soap_alert.size()
+        nfa.reset_counters()
+        assert nfa.elements_processed == 0
+
+    def test_processing_stops_when_no_states_active(self):
+        nfa = YFilterSigma()
+        nfa.add_query("q", "/a/b")
+        wide = Element("other", children=[Element("x", children=[Element("y")]) for _ in range(10)])
+        nfa.match(wide)
+        # root mismatch: children never visited
+        assert nfa.elements_processed == 1
+
+
+class TestAgreementWithXPath:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "/alert/soap",
+            "//envelope/body",
+            "//*/d",
+            "/alert//c",
+            "//body//d",
+            "/alert/error",
+            "//alert//soap//body",
+            "/alert/*",
+            "//d",
+            "/soap",
+            "//body/*",
+        ],
+    )
+    def test_nfa_agrees_with_direct_xpath(self, query, soap_alert):
+        from repro.xmlmodel import XPath
+
+        nfa = YFilterSigma()
+        nfa.add_query("q", query)
+        expected = XPath.compile(query).matches(soap_alert)
+        assert (nfa.match(soap_alert) == {"q"}) == expected
