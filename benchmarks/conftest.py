@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro.filtering import FilterSubscription, SimpleCondition
+from repro.filtering import ComputedCondition, FilterSubscription, SimpleCondition
 from repro.workloads import SoapTrafficGenerator
 from repro.xmlmodel import Element, XPath, parse_xml
 
@@ -33,11 +33,16 @@ def make_alert_items(n_items: int, seed: int = 0) -> list[Element]:
     return [soap_alert(call, "in") for call in generator.run(n_items)]
 
 
-def make_subscription_set(n_subscriptions: int, seed: int = 0) -> list[FilterSubscription]:
+def make_subscription_set(
+    n_subscriptions: int, seed: int = 0, computed_fraction: float = 0.0
+) -> list[FilterSubscription]:
     """Subscriptions mixing simple-only and simple+complex conditions.
 
     The condition pool is deliberately small so that conditions are shared
-    between subscriptions, as the AES algorithm expects in practice.
+    between subscriptions, as the AES algorithm expects in practice.  When
+    ``computed_fraction`` is nonzero, that fraction of subscriptions also
+    carries a LET-derived :class:`ComputedCondition` over the call/response
+    timestamps (a duration threshold), exercising the computed path.
     """
     rng = random.Random(seed)
     methods = ["GetTemperature", "GetHumidity", "GetForecast", "Invoice"]
@@ -54,8 +59,21 @@ def make_subscription_set(n_subscriptions: int, seed: int = 0) -> list[FilterSub
         complex_queries = []
         if rng.random() < 0.5:
             complex_queries.append(XPath.compile(rng.choice(paths)))
+        computed = []
+        # guard keeps the rng stream identical to the seed revision when the
+        # fraction is 0.0, so seeded workloads stay comparable across PRs
+        if computed_fraction and rng.random() < computed_fraction:
+            # $duration := responseTimestamp - callTimestamp; $duration > T
+            threshold = rng.choice([0.5, 1.0, 2.0, 5.0])
+            computed.append(
+                ComputedCondition(
+                    ((1, "responseTimestamp"), (-1, "callTimestamp")),
+                    rng.choice([">", "<="]),
+                    threshold,
+                )
+            )
         subscriptions.append(
-            FilterSubscription(f"q{index}", simple, complex_queries)
+            FilterSubscription(f"q{index}", simple, complex_queries, computed)
         )
     return subscriptions
 

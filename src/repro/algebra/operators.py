@@ -47,7 +47,14 @@ class Operator:
         index = len(self.inputs)
         self.inputs.append(stream)
         self._open_inputs += 1
-        stream.subscribe(lambda item, i=index: self._receive(i, item))
+
+        def deliver(item: object, i: int = index) -> None:
+            self._receive(i, item)
+
+        # Advertise the batch entry point so Stream.emit_many can hand over
+        # whole bursts in one call (see Stream.emit_many).
+        deliver.batch = lambda items, i=index: self._receive_batch(i, items)  # type: ignore[attr-defined]
+        stream.subscribe(deliver)
         return self
 
     def _receive(self, index: int, item: object) -> None:
@@ -61,14 +68,36 @@ class Operator:
         self.items_in += 1
         self.on_item(index, item)
 
+    def _receive_batch(self, index: int, items: list[Element]) -> None:
+        # emit_many never delivers EOS, so no end-of-stream handling here.
+        # items_in accounting is owned by on_batch: the default loop
+        # increments between on_item calls so cadence logic reading items_in
+        # (e.g. GroupOperator's `every`) sees per-item-identical values.
+        self.on_batch(index, items)
+
     def emit(self, item: Element) -> None:
         self.items_out += 1
         self.output.emit(item)
+
+    def emit_batch(self, items: list[Element]) -> None:
+        self.items_out += len(items)
+        self.output.emit_many(items)
 
     # -- to override ------------------------------------------------------------
 
     def on_item(self, index: int, item: Element) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def on_batch(self, index: int, items: list[Element]) -> None:
+        """Process a burst; the default just loops :meth:`on_item`.
+
+        Overrides must account ``items_in`` themselves (bulk increment is
+        fine for operators that never read it mid-batch).
+        """
+        on_item = self.on_item
+        for item in items:
+            self.items_in += 1
+            on_item(index, item)
 
     def on_close(self) -> None:
         """Called when every input reached EOS, before the output is closed."""
@@ -105,6 +134,14 @@ class FilterProcessor(Operator):
         if self._filter.process(item).matched:
             self.emit(item)
 
+    def on_batch(self, index: int, items: list[Element]) -> None:
+        """Filter a burst in one go and forward survivors as one batch."""
+        self.items_in += len(items)
+        results = self._filter.process_batch(items)
+        survivors = [result.item for result in results if result.matched]
+        if survivors:
+            self.emit_batch(survivors)
+
 
 class RestructureOperator(Operator):
     """Π -- applies a template to each (tuple) item to build the output tree."""
@@ -135,6 +172,10 @@ class UnionOperator(Operator):
 
     def on_item(self, index: int, item: Element) -> None:
         self.emit(item)
+
+    def on_batch(self, index: int, items: list[Element]) -> None:
+        self.items_in += len(items)
+        self.emit_batch(items)
 
 
 class JoinOperator(Operator):

@@ -16,7 +16,13 @@ items can be sustained:
 ActiveXML laziness of Section 4: intensional parts of an item (``sc``
 service calls) are materialised only when a complex query actually needs to
 look at them.  :mod:`repro.filtering.naive` provides the single-stage
-baseline used by the benchmarks.
+baseline used by the benchmarks and by the differential-correctness tests.
+
+All three stages run *compiled*: predicates are closures built at
+registration time, the AES tree uses bitmask subsumption with a
+per-satisfied-mask result cache, and the YFilter NFA is determinised lazily
+into a DFA keyed by document shape.  ``docs/PERFORMANCE.md`` describes the
+engine and its counters.
 """
 
 from repro.filtering.conditions import (

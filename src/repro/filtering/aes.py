@@ -1,4 +1,4 @@
-"""AESFilter: the Atomic Event Set hash-tree of [15].
+"""AESFilter: the Atomic Event Set hash-tree of [15], with bitmask subsumption.
 
 Each subscription contributes the *ordered* sequence of its simple-condition
 identifiers.  The hash-tree stores these sequences by shared prefix: a node's
@@ -11,6 +11,22 @@ subscription whose full condition sequence is contained in the satisfied
 list.  The cost depends on the number of satisfied conditions, not on the
 total number of subscriptions, which is why the organisation "scales with
 the number of subscriptions".
+
+Compiled-engine refinements over the textbook structure:
+
+* every condition sequence is also an **int bitmask** (bit ``i`` set for
+  condition id ``i``), and match results are **cached per satisfied-mask**:
+  alert streams repeat root attribute shapes heavily, and two documents
+  satisfying the same condition set always match the same subscriptions, so
+  repeats are one dict lookup;
+* because the mask is the cache key, it is authoritative: each tree node
+  stores the mask of its path and a marking is reported only when
+  ``path_mask & satisfied_mask == path_mask`` (one machine-int AND).  For a
+  well-formed call the walk already guarantees this — it only descends
+  satisfied edges — but the clamp keeps an inconsistent ``(ids, mask)``
+  pair passed by a caller from poisoning the cache for that mask;
+* the walk is **iterative** (explicit stack), so deep condition sequences
+  never hit Python's recursion limit and no per-level call frames are paid.
 """
 
 from __future__ import annotations
@@ -18,6 +34,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.filtering.conditions import ConditionRegistry, FilterSubscription
+
+#: Result-cache bound; beyond it the cache is dropped and rebuilt (the set of
+#: distinct satisfied-masks is normally tiny compared to the item count).
+MAX_MATCH_CACHE = 65536
 
 
 @dataclass
@@ -32,13 +52,15 @@ class AESMatch:
 
 
 class _HashTreeNode:
-    __slots__ = ("table", "simple_markings", "complex_markings")
+    __slots__ = ("table", "simple_markings", "complex_markings", "path_mask")
 
-    def __init__(self) -> None:
+    def __init__(self, path_mask: int = 0) -> None:
         self.table: dict[int, _HashTreeNode] = {}
         # subscriptions whose *last* simple condition is the edge leading here
         self.simple_markings: list[str] = []
         self.complex_markings: list[str] = []
+        # bitmask of the condition ids along the path from the root to here
+        self.path_mask = path_mask
 
 
 class AESFilter:
@@ -50,8 +72,13 @@ class AESFilter:
         # subscriptions with no simple conditions are always active/matched
         self._always_simple: list[str] = []
         self._always_complex: list[str] = []
+        # subscription id -> its condition-sequence bitmask
+        self._masks: dict[str, int] = {}
+        self._match_cache: dict[int, tuple[tuple[str, ...], tuple[str, ...]]] = {}
         self.subscription_count = 0
         self.nodes_visited = 0
+        self.match_cache_hits = 0
+        self.match_cache_misses = 0
 
     # -- construction / maintenance ------------------------------------------------
 
@@ -59,6 +86,12 @@ class AESFilter:
         """Insert one subscription's ordered simple-condition sequence."""
         condition_ids = subscription.condition_ids(self._registry)
         self.subscription_count += 1
+        # any previously cached result may be missing the new subscription
+        self._match_cache.clear()
+        mask = 0
+        for condition_id in condition_ids:
+            mask |= 1 << condition_id
+        self._masks[subscription.sub_id] = mask
         if not condition_ids:
             if subscription.is_complex:
                 self._always_complex.append(subscription.sub_id)
@@ -67,7 +100,11 @@ class AESFilter:
             return
         node = self._root
         for condition_id in condition_ids:
-            node = node.table.setdefault(condition_id, _HashTreeNode())
+            child = node.table.get(condition_id)
+            if child is None:
+                child = _HashTreeNode(node.path_mask | (1 << condition_id))
+                node.table[condition_id] = child
+            node = child
         if subscription.is_complex:
             node.complex_markings.append(subscription.sub_id)
         else:
@@ -77,48 +114,79 @@ class AESFilter:
         for subscription in subscriptions:
             self.add_subscription(subscription)
 
+    def mask_of(self, sub_id: str) -> int:
+        """The condition-sequence bitmask registered for ``sub_id``."""
+        return self._masks[sub_id]
+
     # -- matching ----------------------------------------------------------------------
 
-    def match(self, satisfied_conditions: list[int]) -> AESMatch:
+    def match(
+        self, satisfied_conditions: list[int], satisfied_mask: int | None = None
+    ) -> AESMatch:
         """Find subscriptions whose condition sequence ⊆ ``satisfied_conditions``.
 
         ``satisfied_conditions`` must be sorted ascending (the preFilter
-        guarantees this).
+        guarantees this).  ``satisfied_mask`` is the same set as a bitmask;
+        it is derived from the list when not supplied.
         """
-        result = AESMatch(
-            simple_matches=list(self._always_simple),
-            active_complex=list(self._always_complex),
-        )
-        self._walk(self._root, satisfied_conditions, 0, result)
-        return result
+        if satisfied_mask is None:
+            satisfied_mask = 0
+            for condition_id in satisfied_conditions:
+                satisfied_mask |= 1 << condition_id
+        cached = self._match_cache.get(satisfied_mask)
+        if cached is not None:
+            self.match_cache_hits += 1
+            return AESMatch(list(cached[0]), list(cached[1]))
+        self.match_cache_misses += 1
 
-    def _walk(
-        self,
-        node: _HashTreeNode,
-        satisfied: list[int],
-        start: int,
-        result: AESMatch,
-    ) -> None:
-        for index in range(start, len(satisfied)):
-            child = node.table.get(satisfied[index])
-            if child is None:
-                continue
-            self.nodes_visited += 1
-            if child.simple_markings:
-                result.simple_matches.extend(child.simple_markings)
-            if child.complex_markings:
-                result.active_complex.extend(child.complex_markings)
-            self._walk(child, satisfied, index + 1, result)
+        simple = list(self._always_simple)
+        complex_ = list(self._always_complex)
+        satisfied = satisfied_conditions
+        n = len(satisfied)
+        visited = 0
+        # Iterative prefix-shared walk: (node, index into `satisfied` from
+        # which the node's children may still be extended).
+        stack: list[tuple[_HashTreeNode, int]] = [(self._root, 0)]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            node, start = pop()
+            table = node.table
+            for index in range(start, n):
+                child = table.get(satisfied[index])
+                if child is None:
+                    continue
+                visited += 1
+                # always true for consistent (ids, mask) inputs; clamps the
+                # cached-by-mask result when a caller passes them inconsistent
+                path_mask = child.path_mask
+                if path_mask & satisfied_mask == path_mask:
+                    if child.simple_markings:
+                        simple.extend(child.simple_markings)
+                    if child.complex_markings:
+                        complex_.extend(child.complex_markings)
+                if child.table:
+                    push((child, index + 1))
+        self.nodes_visited += visited
+        if len(self._match_cache) >= MAX_MATCH_CACHE:
+            self._match_cache.clear()
+        self._match_cache[satisfied_mask] = (tuple(simple), tuple(complex_))
+        return AESMatch(simple, complex_)
 
     # -- introspection -------------------------------------------------------------------
 
     def node_count(self) -> int:
         """Total number of hash-tree nodes (measures prefix sharing)."""
-
-        def count(node: _HashTreeNode) -> int:
-            return 1 + sum(count(child) for child in node.table.values())
-
-        return count(self._root)
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.table.values())
+        return total
 
     def reset_counters(self) -> None:
+        """Reset per-run counters (the match cache itself is kept)."""
         self.nodes_visited = 0
+        self.match_cache_hits = 0
+        self.match_cache_misses = 0

@@ -10,12 +10,23 @@ that provide this order.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.xmlmodel.xpath import XPath
 
 #: Comparison operators supported in simple conditions.
 OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+_OP_FUNCS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
 
 
 def _as_number(value: str) -> float | None:
@@ -25,6 +36,33 @@ def _as_number(value: str) -> float | None:
         return None
 
 
+def _compile_simple(op: str, value: str) -> Callable[[str], bool]:
+    """Build the per-value predicate closure for a simple condition.
+
+    The constant is parsed and the operator dispatched exactly once, at
+    subscription-registration time; the hot path then runs one closure call
+    per (attribute value, condition) pair.  Semantics match the interpreted
+    form: numeric comparison when *both* sides parse as numbers, string
+    comparison otherwise.
+    """
+    compare = _OP_FUNCS[op]
+    right_num = _as_number(value)
+    if right_num is None:
+
+        def holds(actual: str) -> bool:
+            return compare(actual, value)
+
+    else:
+
+        def holds(actual: str) -> bool:
+            left_num = _as_number(actual)
+            if left_num is None:
+                return compare(actual, value)
+            return compare(left_num, right_num)
+
+    return holds
+
+
 @dataclass(frozen=True)
 class SimpleCondition:
     """``attribute op constant`` over the root attributes of a stream item."""
@@ -32,6 +70,9 @@ class SimpleCondition:
     attribute: str
     op: str
     value: str
+    #: Compiled predicate over the attribute's value; excluded from
+    #: equality/hash so interning by (attribute, op, value) is unaffected.
+    holds: Callable[[str], bool] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.op not in OPERATORS:
@@ -39,30 +80,14 @@ class SimpleCondition:
                 f"unsupported operator {self.op!r}; expected one of {OPERATORS}"
             )
         object.__setattr__(self, "value", str(self.value))
+        object.__setattr__(self, "holds", _compile_simple(self.op, self.value))
 
     def evaluate(self, attributes: dict[str, str]) -> bool:
         """True when the condition holds for the given root attributes."""
         actual = attributes.get(self.attribute)
         if actual is None:
             return False
-        left_num, right_num = _as_number(actual), _as_number(self.value)
-        left: object
-        right: object
-        if left_num is not None and right_num is not None:
-            left, right = left_num, right_num
-        else:
-            left, right = actual, self.value
-        if self.op == "=":
-            return left == right
-        if self.op == "!=":
-            return left != right
-        if self.op == "<":
-            return left < right  # type: ignore[operator]
-        if self.op == "<=":
-            return left <= right  # type: ignore[operator]
-        if self.op == ">":
-            return left > right  # type: ignore[operator]
-        return left >= right  # type: ignore[operator]
+        return self.holds(actual)
 
     def __str__(self) -> str:
         return f"{self.attribute} {self.op} {self.value!r}"
@@ -128,31 +153,30 @@ class ComputedCondition:
             raise ValueError(
                 f"unsupported operator {self.op!r}; expected one of {OPERATORS}"
             )
-
-    def evaluate(self, attributes: dict[str, str]) -> bool:
-        total = 0.0
+        # Compile once: literal terms fold into a constant base, the target
+        # constant is parsed, and the comparison function is dispatched.
+        base = 0.0
+        attr_terms: list[tuple[int, str]] = []
         for sign, term in self.terms:
             literal = _as_number(term)
             if literal is not None:
-                total += sign * literal
-                continue
+                base += sign * literal
+            else:
+                attr_terms.append((sign, term))
+        object.__setattr__(self, "_base", base)
+        object.__setattr__(self, "_attr_terms", tuple(attr_terms))
+        object.__setattr__(self, "_target", float(self.value))
+        object.__setattr__(self, "_compare", _OP_FUNCS[self.op])
+
+    def evaluate(self, attributes: dict[str, str]) -> bool:
+        total = self._base
+        for sign, term in self._attr_terms:
             raw = attributes.get(term)
             number = _as_number(raw) if raw is not None else None
             if number is None:
                 return False
             total += sign * number
-        target = float(self.value)
-        if self.op == "=":
-            return total == target
-        if self.op == "!=":
-            return total != target
-        if self.op == "<":
-            return total < target
-        if self.op == "<=":
-            return total <= target
-        if self.op == ">":
-            return total > target
-        return total >= target
+        return self._compare(total, self._target)
 
     def __str__(self) -> str:
         parts = []
@@ -190,9 +214,22 @@ class FilterSubscription:
         ids = sorted({registry.register(condition) for condition in self.simple})
         return ids
 
+    def condition_mask(self, registry: ConditionRegistry) -> int:
+        """Bitmask with bit ``i`` set for each registered simple-condition id ``i``."""
+        mask = 0
+        for condition_id in self.condition_ids(registry):
+            mask |= 1 << condition_id
+        return mask
+
     def computed_hold(self, item) -> bool:
         """True when every computed (LET-derived) condition holds for ``item``."""
-        return all(condition.evaluate(item.attrib) for condition in self.computed)
+        if not self.computed:
+            return True
+        attrib = item.attrib
+        for condition in self.computed:
+            if not condition.evaluate(attrib):
+                return False
+        return True
 
     def matches_extensionally(self, item) -> bool:
         """Reference semantics: evaluate everything directly (used by tests/naive)."""

@@ -2,8 +2,8 @@
 
 Processing of one stream item:
 
-1. :class:`PreFilter` reads the root attributes and returns the ordered list
-   of satisfied simple conditions.
+1. :class:`PreFilter` reads the root attributes and returns the satisfied
+   simple conditions as an ordered id list plus a bitmask.
 2. :class:`AESFilter` finds (i) simple subscriptions entirely satisfied and
    (ii) *active* complex subscriptions, i.e. those whose simple conditions
    are all satisfied and whose tree-pattern queries must still be checked.
@@ -13,18 +13,31 @@ Processing of one stream item:
 ActiveXML laziness: if the item carries intensional content (``sc`` service
 calls) it is materialised *only* when step 3 actually runs, so items
 rejected by their simple conditions never trigger the external call.
+
+The compiled engine memoises, per satisfied-condition **bitmask**, the whole
+outcome of stage 2 *plus* its bookkeeping: which matched subscriptions still
+need LET-derived (computed) conditions evaluated, which active complex
+subscriptions exist, and the frozen set of YFilter query ids they activate.
+Two items satisfying the same simple conditions — the overwhelmingly common
+case for machine-generated alert streams — therefore skip straight from the
+preFilter to the (DFA-cached) tree-pattern check.  :meth:`process_batch`
+amortises the remaining per-item dispatch for alerter bursts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.filtering.aes import AESFilter
 from repro.filtering.conditions import ConditionRegistry, FilterSubscription
-from repro.filtering.prefilter import PreFilter
+from repro.filtering.prefilter import PreFilter, flatten_parts
 from repro.filtering.yfilter import YFilterSigma
 from repro.xmlmodel.axml import ServiceRegistry, has_service_calls, materialize
 from repro.xmlmodel.tree import Element
+
+#: Bound on the per-satisfied-mask plan cache (cleared wholesale when full).
+MAX_MASK_CACHE = 65536
 
 
 @dataclass
@@ -37,6 +50,32 @@ class FilterResult:
     @property
     def any(self) -> bool:
         return bool(self.matched)
+
+
+class _MaskPlan:
+    """Everything stage 2 derives from one satisfied-condition bitmask."""
+
+    __slots__ = (
+        "simple_plain",
+        "simple_computed",
+        "complex_plain",
+        "complex_computed",
+        "plain_query_ids",
+    )
+
+    def __init__(
+        self,
+        simple_plain: tuple[str, ...],
+        simple_computed: tuple[str, ...],
+        complex_plain: tuple[str, ...],
+        complex_computed: tuple[str, ...],
+        plain_query_ids: frozenset[str],
+    ) -> None:
+        self.simple_plain = simple_plain
+        self.simple_computed = simple_computed
+        self.complex_plain = complex_plain
+        self.complex_computed = complex_computed
+        self.plain_query_ids = plain_query_ids
 
 
 class FilterOperator:
@@ -53,12 +92,15 @@ class FilterOperator:
         self.yfilter = YFilterSigma()
         self.service_registry = service_registry
         self._subscriptions: dict[str, FilterSubscription] = {}
-        self._query_ids: dict[str, list[str]] = {}
+        self._query_ids: dict[str, tuple[str, ...]] = {}
+        self._mask_cache: dict[int, _MaskPlan] = {}
         # counters used by benchmarks and tests
         self.items_processed = 0
         self.items_matched = 0
         self.complex_evaluations = 0
         self.materializations = 0
+        self.mask_cache_hits = 0
+        self.mask_cache_misses = 0
         for subscription in subscriptions or []:
             self.add_subscription(subscription)
 
@@ -75,7 +117,9 @@ class FilterOperator:
             query_id = f"{subscription.sub_id}::{index}"
             self.yfilter.add_query(query_id, query)
             query_ids.append(query_id)
-        self._query_ids[subscription.sub_id] = query_ids
+        self._query_ids[subscription.sub_id] = tuple(query_ids)
+        # cached plans may be missing the new subscription
+        self._mask_cache.clear()
 
     def subscription(self, sub_id: str) -> FilterSubscription:
         return self._subscriptions[sub_id]
@@ -92,36 +136,100 @@ class FilterOperator:
     def process(self, item: Element) -> FilterResult:
         """Match one stream item; returns the identifiers of satisfied subscriptions."""
         self.items_processed += 1
-        satisfied = self.prefilter.satisfied_conditions(item)
-        aes_match = self.aes.match(satisfied)
-        matched = [
-            sub_id
-            for sub_id in aes_match.simple_matches
-            if self._subscriptions[sub_id].computed_hold(item)
-        ]
+        satisfied_mask, satisfied_parts = self.prefilter.satisfied_parts(item)
+        plan = self._mask_cache.get(satisfied_mask)
+        if plan is None:
+            self.mask_cache_misses += 1
+            plan = self._compile_plan(satisfied_mask, flatten_parts(satisfied_parts))
+        else:
+            self.mask_cache_hits += 1
 
-        active_complex = [
-            sub_id
-            for sub_id in aes_match.active_complex
-            if self._subscriptions[sub_id].computed_hold(item)
-        ]
-        if active_complex:
-            self.complex_evaluations += len(active_complex)
-            target = self._extensional_view(item)
-            active_query_ids = {
-                query_id
-                for sub_id in active_complex
-                for query_id in self._query_ids[sub_id]
-            }
-            matched_queries = self.yfilter.match(target, active_query_ids)
-            for sub_id in active_complex:
-                if all(qid in matched_queries for qid in self._query_ids[sub_id]):
+        # plan.simple_plain is pre-sorted; only later appends force a re-sort
+        matched = list(plan.simple_plain)
+        needs_sort = False
+        if plan.simple_computed:
+            subscriptions = self._subscriptions
+            for sub_id in plan.simple_computed:
+                if subscriptions[sub_id].computed_hold(item):
                     matched.append(sub_id)
+                    needs_sort = True
 
-        matched.sort()
+        if plan.complex_plain or plan.complex_computed:
+            active_complex: Sequence[str]
+            active_query_ids: frozenset[str] | set[str]
+            if plan.complex_computed:
+                subscriptions = self._subscriptions
+                passing = [
+                    sub_id
+                    for sub_id in plan.complex_computed
+                    if subscriptions[sub_id].computed_hold(item)
+                ]
+                active_complex = [*plan.complex_plain, *passing]
+                active_query_ids = set(plan.plain_query_ids)
+                for sub_id in passing:
+                    active_query_ids.update(self._query_ids[sub_id])
+            else:
+                active_complex = plan.complex_plain
+                active_query_ids = plan.plain_query_ids
+            if active_complex:
+                self.complex_evaluations += len(active_complex)
+                target = self._extensional_view(item)
+                matched_queries = self.yfilter.match(target, active_query_ids)
+                query_ids = self._query_ids
+                for sub_id in active_complex:
+                    for query_id in query_ids[sub_id]:
+                        if query_id not in matched_queries:
+                            break
+                    else:
+                        matched.append(sub_id)
+                        needs_sort = True
+
+        if needs_sort:
+            matched.sort()
         if matched:
             self.items_matched += 1
         return FilterResult(item=item, matched=matched)
+
+    def process_batch(self, items: Iterable[Element]) -> list[FilterResult]:
+        """Match a burst of stream items, amortising per-item dispatch."""
+        process = self.process
+        return [process(item) for item in items]
+
+    def _compile_plan(self, satisfied_mask: int, satisfied_ids: list[int]) -> _MaskPlan:
+        """Run stage 2 once for this satisfied-mask and memoise its outcome."""
+        aes_match = self.aes.match(satisfied_ids, satisfied_mask)
+        subscriptions = self._subscriptions
+        simple_plain: list[str] = []
+        simple_computed: list[str] = []
+        for sub_id in aes_match.simple_matches:
+            if subscriptions[sub_id].computed:
+                simple_computed.append(sub_id)
+            else:
+                simple_plain.append(sub_id)
+        complex_plain: list[str] = []
+        complex_computed: list[str] = []
+        for sub_id in aes_match.active_complex:
+            if subscriptions[sub_id].computed:
+                complex_computed.append(sub_id)
+            else:
+                complex_plain.append(sub_id)
+        plain_query_ids = frozenset(
+            query_id
+            for sub_id in complex_plain
+            for query_id in self._query_ids[sub_id]
+        )
+        simple_plain.sort()
+        plan = _MaskPlan(
+            tuple(simple_plain),
+            tuple(simple_computed),
+            tuple(complex_plain),
+            tuple(complex_computed),
+            plain_query_ids,
+        )
+        if len(self._mask_cache) >= MAX_MASK_CACHE:
+            self._mask_cache.clear()
+        self._mask_cache[satisfied_mask] = plan
+        return plan
 
     def _extensional_view(self, item: Element) -> Element:
         """Materialise intensional content only when complex queries must run."""
@@ -131,10 +239,13 @@ class FilterOperator:
         return item
 
     def reset_counters(self) -> None:
+        """Reset this operator's counters and those of all three stages."""
         self.items_processed = 0
         self.items_matched = 0
         self.complex_evaluations = 0
         self.materializations = 0
+        self.mask_cache_hits = 0
+        self.mask_cache_misses = 0
         self.prefilter.reset_counters()
         self.aes.reset_counters()
         self.yfilter.reset_counters()

@@ -8,6 +8,8 @@ strawman the two-stage Filter is compared against in experiments E2 and E6.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.filtering.conditions import FilterSubscription
 from repro.filtering.filter import FilterResult
 from repro.xmlmodel.axml import ServiceRegistry, has_service_calls, materialize
@@ -51,3 +53,13 @@ class NaiveFilter:
                 matched.append(sub_id)
         matched.sort()
         return FilterResult(item=item, matched=matched)
+
+    def process_batch(self, items: Iterable[Element]) -> list[FilterResult]:
+        """Batch counterpart of :meth:`process` (oracle parity with FilterOperator)."""
+        process = self.process
+        return [process(item) for item in items]
+
+    def reset_counters(self) -> None:
+        self.items_processed = 0
+        self.evaluations = 0
+        self.materializations = 0

@@ -32,6 +32,10 @@ class StreamStats:
         self.items += 1
         self.bytes += item.weight()
 
+    def record_many(self, items: list[Element]) -> None:
+        self.items += len(items)
+        self.bytes += sum(item.weight() for item in items)
+
 
 class Stream:
     """A named, push-based stream of XML trees.
@@ -100,8 +104,62 @@ class Stream:
             subscriber(item)
 
     def emit_many(self, items: Iterable[Element]) -> None:
-        for item in items:
-            self.emit(item)
+        """Push a burst of XML trees, amortising accounting and fan-out.
+
+        Stats and history are updated once for the whole batch (they commit
+        when the open stream accepts it).
+
+        Delivery contract:
+
+        * Subscribers that advertise a batch entry point (a ``batch``
+          attribute on the callback, as installed by
+          :meth:`repro.algebra.operators.Operator.connect`) are **batch
+          atomic**: each receives the whole burst in one call, before
+          per-item subscribers.  A close they perform takes effect only
+          after their call returns.
+        * Per-item subscribers then receive the items item-major, exactly
+          as a loop of :meth:`emit` calls would deliver them among
+          themselves: an item in flight when the stream is closed still
+          reaches each of them before delivery stops.
+        * A close during delivery stops all further delivery — nothing is
+          pushed after the EOS marker — and :class:`StreamClosedError` is
+          raised to the producer.
+        """
+        batch = items if isinstance(items, list) else list(items)
+        if not batch:
+            return
+        if self.closed:
+            raise StreamClosedError(f"stream {self.qualified_id} is closed")
+        for item in batch:
+            if not isinstance(item, Element):
+                raise TypeError(
+                    f"stream items must be Elements, got {type(item).__name__}"
+                )
+        self.stats.record_many(batch)
+        if self.keep_history:
+            self.history.extend(batch)
+        batch_subscribers = []
+        item_subscribers = []
+        for subscriber in list(self._subscribers):
+            deliver_batch = getattr(subscriber, "batch", None)
+            if deliver_batch is not None:
+                batch_subscribers.append(deliver_batch)
+            else:
+                item_subscribers.append(subscriber)
+        for deliver_batch in batch_subscribers:
+            deliver_batch(batch)
+            if self.closed:
+                raise StreamClosedError(
+                    f"stream {self.qualified_id} closed during batch delivery"
+                )
+        if item_subscribers:
+            for item in batch:
+                for subscriber in item_subscribers:
+                    subscriber(item)
+                if self.closed:
+                    raise StreamClosedError(
+                        f"stream {self.qualified_id} closed during batch delivery"
+                    )
 
     def close(self) -> None:
         """Emit the end-of-stream marker and refuse further items."""

@@ -322,6 +322,112 @@ class _PathParser:
 
 
 # --------------------------------------------------------------------------- #
+# Compiled existence matcher
+# --------------------------------------------------------------------------- #
+
+
+def _iter_subtree(node: Element) -> Iterable[Element]:
+    """Pre-order iteration over ``node`` and its descendants, without recursion."""
+    stack = [node]
+    pop = stack.pop
+    while stack:
+        current = pop()
+        yield current
+        children = current.children
+        if children:
+            stack.extend(reversed(children))
+
+
+class _CompiledMatcher:
+    """Boolean-only evaluator for one :class:`XPath`, built once per path.
+
+    :meth:`XPath.matches` only needs existence, not the selected node list,
+    so this matcher propagates a deduplicated frontier step by step using
+    explicit stacks (no Python recursion, however deep the document) and
+    returns as soon as any node survives the final step.  Its verdict is
+    identical to ``bool(XPath.select(root))``.
+    """
+
+    __slots__ = ("_first_is_root", "_steps")
+
+    def __init__(self, path: "XPath") -> None:
+        # For absolute child-axis paths the first step is matched against the
+        # document root itself (mirrors XPath.select).
+        self._first_is_root = path.absolute and path.steps[0].axis == "child"
+        self._steps = tuple(
+            (
+                step.axis == "descendant",
+                "attr" if step.is_attribute else ("text" if step.is_text else "elem"),
+                step.test[1:] if step.is_attribute else step.test,
+                step.predicates,
+            )
+            for step in path.steps
+        )
+
+    def matches(self, root: Element) -> bool:
+        steps = self._steps
+        start = 0
+        frontier = [root]
+        if self._first_is_root:
+            _desc, kind, test, predicates = steps[0]
+            if kind != "elem" or not (test == "*" or test == root.tag):
+                return False
+            for predicate in predicates:
+                if not predicate.evaluate(root):
+                    return False
+            if len(steps) == 1:
+                return True
+            start = 1
+        last = len(steps) - 1
+        for index in range(start, len(steps)):
+            descendant, kind, test, predicates = steps[index]
+            is_last = index == last
+            next_frontier: list[Element] = []
+            seen: set[int] = set()
+            for context in frontier:
+                if kind == "attr":
+                    holders = _iter_subtree(context) if descendant else (context,)
+                    for holder in holders:
+                        if test in holder.attrib:
+                            if is_last:
+                                return True
+                            break  # attribute values cannot be navigated further
+                    continue
+                if kind == "text":
+                    holders = _iter_subtree(context) if descendant else (context,)
+                    for holder in holders:
+                        if holder.text is not None:
+                            if is_last:
+                                return True
+                            break  # text values cannot be navigated further
+                    continue
+                candidates = _iter_subtree(context) if descendant else context.children
+                for candidate in candidates:
+                    if test != "*" and candidate.tag != test:
+                        continue
+                    if predicates:
+                        ok = True
+                        for predicate in predicates:
+                            if not predicate.evaluate(candidate):
+                                ok = False
+                                break
+                        if not ok:
+                            continue
+                    if is_last:
+                        return True
+                    marker = id(candidate)
+                    if marker not in seen:
+                        seen.add(marker)
+                        next_frontier.append(candidate)
+            if is_last:
+                return False
+            frontier = next_frontier
+            if not frontier:
+                return False
+        return False
+
+
+# --------------------------------------------------------------------------- #
 # XPath object
 # --------------------------------------------------------------------------- #
 
@@ -344,6 +450,7 @@ class XPath:
         self.steps = steps
         self.absolute = absolute
         self.variable = variable
+        self._matcher: _CompiledMatcher | None = None
 
     # -- construction -------------------------------------------------------
 
@@ -381,8 +488,16 @@ class XPath:
         return self._walk([root], self.steps, root)
 
     def matches(self, root: Element) -> bool:
-        """True when the path selects at least one node/value of ``root``."""
-        return bool(self.select(root))
+        """True when the path selects at least one node/value of ``root``.
+
+        Runs through a compiled non-recursive matcher (built lazily, once per
+        path) that short-circuits on the first witness instead of
+        materialising the full ``select`` result.
+        """
+        matcher = self._matcher
+        if matcher is None:
+            matcher = self._matcher = _CompiledMatcher(self)
+        return matcher.matches(root)
 
     def first(self, root: Element) -> Element | str | None:
         results = self.select(root)

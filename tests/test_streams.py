@@ -85,6 +85,82 @@ class TestStream:
         stream.emit_many([Element("a"), Element("b"), Element("c")])
         assert [e.tag for e in seen] == ["a", "b", "c"]
 
+    def test_emit_many_on_closed_stream_raises(self):
+        stream = Stream("s")
+        stream.close()
+        with pytest.raises(StreamClosedError):
+            stream.emit_many([Element("a")])
+
+    def test_emit_many_stops_when_subscriber_closes_mid_batch(self):
+        """Nothing may be delivered after the EOS marker a mid-batch close sends."""
+        stream = Stream("s")
+        seen = []
+
+        def closer(item):
+            seen.append(item)
+            if not is_eos(item) and item.tag == "a":
+                stream.close()
+
+        stream.subscribe(closer)
+        with pytest.raises(StreamClosedError):
+            stream.emit_many([Element("a"), Element("b"), Element("c")])
+        # the close's EOS is the last thing the subscriber saw
+        assert [("EOS" if is_eos(item) else item.tag) for item in seen] == ["a", "EOS"]
+
+    def test_emit_many_mid_batch_close_matches_per_item_fanout(self):
+        """Every subscriber still receives the item that triggered the close."""
+
+        def build(emitter):
+            stream = Stream("s")
+            closer_seen, other_seen = [], []
+
+            def closer(item):
+                closer_seen.append(item)
+                if not is_eos(item) and item.tag == "a":
+                    stream.close()
+
+            stream.subscribe(closer)
+            stream.subscribe(lambda item: other_seen.append(item))
+            with pytest.raises(StreamClosedError):
+                emitter(stream, [Element("a"), Element("b")])
+            return (
+                [("EOS" if is_eos(i) else i.tag) for i in closer_seen],
+                [("EOS" if is_eos(i) else i.tag) for i in other_seen],
+            )
+
+        def per_item(stream, items):
+            for item in items:
+                stream.emit(item)
+
+        assert build(per_item) == build(lambda s, items: s.emit_many(items))
+
+    def test_emit_many_batch_subscribers_are_batch_atomic(self):
+        """Pin the documented contract: a batch subscriber consumes its whole
+        burst in one call, so a close it performs takes effect only after it
+        returns — later subscribers then receive nothing."""
+        stream = Stream("s")
+        batch_seen = []
+        item_seen = []
+
+        def plain(item):  # close() still routes EOS through the raw callback
+            batch_seen.append("EOS" if is_eos(item) else f"item:{item.tag}")
+
+        def batch_handler(items):
+            for item in items:
+                batch_seen.append(item.tag)
+                if item.tag == "a":
+                    stream.close()
+
+        plain.batch = batch_handler
+        stream.subscribe(plain)
+        stream.subscribe(lambda item: item_seen.append(item))
+        with pytest.raises(StreamClosedError):
+            stream.emit_many([Element("a"), Element("b")])
+        # atomic: the handler finishes its burst despite the close (whose
+        # EOS fires through the raw callback mid-handler)
+        assert batch_seen == ["a", "EOS", "b"]
+        assert [("EOS" if is_eos(i) else i.tag) for i in item_seen] == ["EOS"]
+
     def test_push_routes_items_and_eos(self):
         upstream = Stream("up")
         downstream = Stream("down")
