@@ -35,6 +35,7 @@ def build_monitored_edos(n_mirrors=3, n_clients=25, seed=61):
         by publish as channel "edosFailures";
         """,
         sub_id="edos-failures",
+        max_results=100_000,
     )
     queries = monitor.subscribe(
         f"""
@@ -44,6 +45,7 @@ def build_monitored_edos(n_mirrors=3, n_clients=25, seed=61):
         by publish as channel "edosQueries";
         """,
         sub_id="edos-queries",
+        max_results=100_000,
     )
     system.run()
     return system, edos, failures, queries
@@ -58,12 +60,12 @@ def test_edos_statistics_match_ground_truth(benchmark):
 
     system, edos, failures, queries = benchmark.pedantic(run, rounds=1, iterations=1)
     reference = edos.reference_statistics()
-    assert len(failures.results) == reference["failed_downloads"]
-    assert len(queries.results) == reference["queries"]
+    assert len(failures.results()) == reference["failed_downloads"]
+    assert len(queries.results()) == reference["queries"]
     benchmark.extra_info["experiment"] = "E10"
     benchmark.extra_info["events"] = N_EVENTS
-    benchmark.extra_info["failed_downloads"] = len(failures.results)
-    benchmark.extra_info["queries_observed"] = len(queries.results)
+    benchmark.extra_info["failed_downloads"] = len(failures.results())
+    benchmark.extra_info["queries_observed"] = len(queries.results())
     benchmark.extra_info["second_subscription_reused_nodes"] = (
         queries.reuse_report.nodes_reused if queries.reuse_report else 0
     )
@@ -76,7 +78,7 @@ def test_edos_monitoring_throughput(benchmark, n_clients):
     def run():
         edos.run(300)
         system.run()
-        return len(failures.results) + len(queries.results)
+        return len(failures.results()) + len(queries.results())
 
     observed = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["experiment"] = "E10"

@@ -20,7 +20,10 @@ def run_overlapping(n_subscriptions: int, reuse: bool):
     for index in range(1, n_subscriptions):
         tasks.append(
             scenario.monitor.subscribe(
-                scenario.subscription_text(), sub_id=f"meteo-qos-{index}", reuse=reuse
+                scenario.subscription_text(),
+                sub_id=f"meteo-qos-{index}",
+                reuse=reuse,
+                max_results=10_000,
             )
         )
     scenario.system.run()
@@ -38,9 +41,9 @@ def test_overlapping_subscriptions(benchmark, n_subscriptions, reuse):
 
     scenario, tasks, deployment_messages = benchmark.pedantic(run, rounds=1, iterations=1)
     # every subscription keeps producing the same incidents
-    reference = len(tasks[0].results)
+    reference = len(tasks[0].results())
     assert reference > 0
-    assert all(len(task.results) == reference for task in tasks)
+    assert all(len(task.results()) == reference for task in tasks)
 
     total_operators = sum(task.operator_count for task in tasks)
     reused_nodes = sum(

@@ -11,6 +11,7 @@ Run with:  python examples/edos_statistics.py
 
 from repro.algebra import GroupOperator, ValueRef
 from repro.monitor import P2PMSystem
+from repro.p2pml import SubscriptionBuilder
 from repro.workloads import EdosNetwork
 
 
@@ -35,6 +36,7 @@ def main() -> None:
         by publish as channel "edosFailures";
         """,
         sub_id="edos-failures",
+        max_results=10_000,
     )
     downloads = monitor.subscribe(
         f"""
@@ -44,15 +46,18 @@ def main() -> None:
         by publish as channel "edosDownloads";
         """,
         sub_id="edos-downloads",
+        max_results=10_000,
     )
+    # the third subscription is built programmatically: the fluent builder
+    # compiles to the same AST (and thus the same plans) as P2PML text
     queries = monitor.subscribe(
-        f"""
-        for $c in inCOM({mirror_args})
-        where $c.callMethod = "QueryPackage"
-        return <query client="{{$c.caller}}"/>
-        by publish as channel "edosQueries";
-        """,
+        SubscriptionBuilder()
+        .for_var("c", "inCOM", *edos.mirrors)
+        .where("$c.callMethod", "=", '"QueryPackage"')
+        .returns('<query client="{$c.caller}"/>')
+        .by_channel("edosQueries"),
         sub_id="edos-queries",
+        max_results=10_000,
     )
     system.run()
 
@@ -66,9 +71,9 @@ def main() -> None:
 
     reference = edos.reference_statistics()
     print("\nMonitored statistics vs ground truth:")
-    print(f"  failed downloads : {len(failures.results):4d}  (ground truth {reference['failed_downloads']})")
-    print(f"  downloads        : {len(downloads.results):4d}  (ground truth {reference['downloads']})")
-    print(f"  package queries  : {len(queries.results):4d}  (ground truth {reference['queries']})")
+    print(f"  failed downloads : {len(failures.results()):4d}  (ground truth {reference['failed_downloads']})")
+    print(f"  downloads        : {len(downloads.results()):4d}  (ground truth {reference['downloads']})")
+    print(f"  package queries  : {len(queries.results()):4d}  (ground truth {reference['queries']})")
     print("\nDownloads per mirror (Group operator):")
     for mirror, count in sorted(per_mirror.counts.items()):
         truth = reference["downloads_per_mirror"].get(mirror, 0)

@@ -19,10 +19,10 @@ def main() -> None:
     print("P2PML subscription submitted at monitor.meteo.com:")
     print(scenario.subscription_text())
 
-    task = scenario.deploy()
+    handle = scenario.deploy()
     print("Distributed monitoring plan (operator @ peer):")
-    print(task.plan.describe())
-    print("\nChannels created:", ", ".join(task.channels_created))
+    print(handle.plan.describe())
+    print("\nChannels created:", ", ".join(handle.channels_created))
 
     calls = scenario.run_traffic(500)
     expected = scenario.expected_incidents(calls)
@@ -39,6 +39,11 @@ def main() -> None:
     stats = scenario.system.network.stats
     print(f"\nNetwork traffic: {stats.total_messages} messages, {stats.total_bytes} bytes")
     print("Busiest peer:", stats.busiest_peer())
+
+    sub_stats = handle.stats()
+    print(f"\nSubscription stats: status={sub_stats['status']}, "
+          f"delivered={sub_stats['items_delivered']}, "
+          f"operators={sub_stats['operators']} on {len(sub_stats['peers'])} peers")
 
 
 if __name__ == "__main__":

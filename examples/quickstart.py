@@ -18,8 +18,10 @@ def main() -> None:
     feed = RSSFeedSimulator("http://news.example.org/rss", initial_entries=4, seed=1)
     site.register_feed(feed.feed_url, feed.snapshot)
 
-    # 3. A P2PML subscription: tell me about every new entry.
-    task = monitor.subscribe(
+    # 3. A P2PML subscription: tell me about every new entry.  subscribe()
+    #    returns a SubscriptionHandle; max_results opts into a bounded
+    #    result buffer readable via handle.results().
+    handle = monitor.subscribe(
         """
         for $x in rssFeed(<p>news.example.org</p>)
         where $x.kind = "add"
@@ -27,11 +29,12 @@ def main() -> None:
         by publish as channel "freshNews";
         """,
         sub_id="fresh-news",
+        max_results=100,
     )
     system.run()  # deliver the deployment messages
 
-    print("Deployed monitoring plan:")
-    print(task.plan.describe())
+    print(f"Deployed monitoring plan ({handle.sub_id}, status={handle.status}):")
+    print(handle.plan.describe())
 
     # 4. Drive the monitored system: the alerter polls the feed as it evolves.
     alerter = site.alerter("rssFeed")
@@ -42,9 +45,16 @@ def main() -> None:
     system.run()  # deliver the channel messages to the monitor
 
     # 5. The results arrived at the monitor peer on channel #freshNews.
-    print(f"\n{len(task.results)} new entries detected:")
-    for item in task.results:
+    results = handle.results()
+    print(f"\n{len(results)} new entries detected:")
+    for item in results:
         print("  " + pretty_xml(item).strip().replace("\n", " "))
+
+    # 6. The handle drives the whole lifecycle: cancelling tears down the
+    #    operators, closes the streams and retracts the advertisements.
+    handle.cancel()
+    print(f"\nAfter cancel: status={handle.status}, "
+          f"stream descriptions left: {len(system.stream_db.all_stream_descriptions())}")
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ def main() -> None:
         by rss "wikiChanges";
         """,
         sub_id="wiki-edits",
+        max_results=500,
     )
     system.run()
 
@@ -52,18 +53,35 @@ def main() -> None:
     page_alerter = wiki.alerter("webpage")  # keyword-like names are lower-cased
     rss_alerter.poll()
     page_alerter.crawl()
-    for _ in range(6):
+    for _ in range(3):
+        feed.tick()
+        pages.tick()
+        rss_alerter.poll()
+        page_alerter.crawl()
+
+    system.run()  # deliver the first rounds while the subscription is live
+
+    # the operations team goes off-shift: pause the mail subscription;
+    # changes keep being detected and delivered, nothing is mailed until
+    # resume() flushes what the valve retained
+    news.pause()
+    for _ in range(3):
         feed.tick()
         pages.tick()
         rss_alerter.poll()
         page_alerter.crawl()
     system.run()
+    mailed_while_paused = len(news.publisher.outbox)
+    held = news.stats()["items_pending"]
+    news.resume()
+    system.run()
 
-    print(f"Portal additions mailed: {len(news.publisher.outbox)}")
+    print(f"Portal additions mailed: {len(news.publisher.outbox)} "
+          f"(mailed before pause: {mailed_while_paused}, held while paused: {held})")
     for email in news.publisher.outbox[:3]:
         print(f"  to {email.recipient}: {email.subject}")
 
-    print(f"\nWiki changes observed: {len(edits.results)}")
+    print(f"\nWiki changes observed: {len(edits.results())}")
     print("Latest entries of the generated RSS feed:")
     generated = edits.publisher.feed()
     for item in generated.find("channel").findall("item")[:3]:

@@ -7,19 +7,24 @@ publisher) onto the already-running streams, so almost nothing new is
 deployed.  A third, partially overlapping subscription reuses just the
 alerter streams.
 
+Because reuse shares streams between subscriptions, cancellation is
+reference-counted: cancelling the first subscription leaves the streams the
+second one depends on running; only when the last subscriber cancels is
+everything torn down and retracted from the Stream Definition Database.
+
 Run with:  python examples/stream_reuse_demo.py
 """
 
 from repro.workloads import MeteoScenario
 
 
-def describe(name, task):
-    report = task.reuse_report
+def describe(name, handle):
+    report = handle.reuse_report
     print(f"{name}:")
     print(f"  plan nodes reused   : {report.nodes_reused}/{report.nodes_considered}"
           f"  (queries to the Stream Definition DB: {report.queries_issued})")
-    print(f"  new operators       : {task.operator_count}")
-    print(f"  peers involved      : {', '.join(task.peers_involved())}")
+    print(f"  new operators       : {handle.operator_count}")
+    print(f"  peers involved      : {', '.join(handle.peers_involved())}")
     for kind, stream, provider in report.reused:
         print(f"    reused {kind:12s} -> {stream} (served by {provider})")
     print()
@@ -34,7 +39,9 @@ def main() -> None:
     print(f"  streams declared    : {scenario.system.stream_db.streams_published}")
     print()
 
-    second = scenario.monitor.subscribe(scenario.subscription_text(), sub_id="meteo-qos-bis")
+    second = scenario.monitor.subscribe(
+        scenario.subscription_text(), sub_id="meteo-qos-bis", max_results=10_000
+    )
     scenario.system.run()
     describe("Second, identical subscription", second)
 
@@ -46,15 +53,32 @@ def main() -> None:
         by publish as channel "humidity";
         """,
         sub_id="humidity-watch",
+        max_results=10_000,
     )
     scenario.system.run()
     describe("Third, partially overlapping subscription", third)
 
     scenario.run_traffic(300)
     print("After 300 monitored calls:")
-    print(f"  incidents seen by subscription 1: {len(first.results)}")
-    print(f"  incidents seen by subscription 2: {len(second.results)} (same stream, reused)")
-    print(f"  humidity calls seen by subscription 3: {len(third.results)}")
+    print(f"  incidents seen by subscription 1: {len(first.results())}")
+    print(f"  incidents seen by subscription 2: {len(second.results())} (same stream, reused)")
+    print(f"  humidity calls seen by subscription 3: {len(third.results())}")
+
+    # reference-counted teardown: the first cancel must not disturb the
+    # second subscription, which reuses the first one's streams
+    first.cancel()
+    scenario.run_traffic(150)
+    print("\nAfter cancelling subscription 1 and 150 more calls:")
+    print(f"  subscription 1 (cancelled): {len(first.results())} (frozen)")
+    print(f"  subscription 2 (reusing its streams): {len(second.results())} (still growing)")
+
+    second.cancel()
+    third.cancel()
+    db = scenario.system.stream_db
+    print("\nAfter cancelling every subscription:")
+    print(f"  stream descriptions left : {len(db.all_stream_descriptions())}")
+    print(f"  descriptions retracted   : {db.descriptions_retracted}")
+    print(f"  resource ledger          : {scenario.system.resources}")
 
 
 if __name__ == "__main__":

@@ -14,20 +14,12 @@ from repro.alerters.rss import RSSFeedAlerter
 from repro.alerters.webpage import WebPageAlerter
 from repro.alerters.axml_repo import AXMLRepository, AXMLRepositoryAlerter
 from repro.alerters.dht_membership import AreRegisteredAlerter
-
-#: Alerter kinds understood by the deployment layer, keyed by the function
-#: name used in P2PML FOR clauses.
-ALERTER_KINDS = {
-    "inCOM": ("ws", {"direction": "in"}),
-    "outCOM": ("ws", {"direction": "out"}),
-    "rssFeed": ("rss", {}),
-    "rss": ("rss", {}),
-    "webPage": ("webpage", {}),
-    # the P2PML lexer normalises keyword-like alerter names to lower case
-    "webpage": ("webpage", {}),
-    "axmlRepo": ("axml", {}),
-    "areRegistered": ("membership", {}),
-}
+from repro.alerters.registry import (
+    alerter_functions,
+    create_alerter,
+    register_alerter,
+    unregister_alerter,
+)
 
 __all__ = [
     "Alerter",
@@ -38,5 +30,8 @@ __all__ = [
     "AXMLRepository",
     "AXMLRepositoryAlerter",
     "AreRegisteredAlerter",
-    "ALERTER_KINDS",
+    "register_alerter",
+    "unregister_alerter",
+    "create_alerter",
+    "alerter_functions",
 ]

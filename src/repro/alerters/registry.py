@@ -1,0 +1,108 @@
+"""Declarative registry of alerter kinds.
+
+"Each alerter is specialized in detecting particular events in some systems
+that are external to P2PM" (Section 3.1).  New alerter kinds plug in
+without touching the deployment layer: a factory registered under one or
+more P2PML function names builds the alerter on demand at the hosting peer.
+
+    @register_alerter("rssFeed", "rss")
+    def _make_rss(peer, function):
+        url, source = peer.single_feed_source(function)
+        return RSSFeedAlerter(peer.peer_id, url, source)
+
+``peer`` is the hosting :class:`~repro.monitor.p2pm_peer.P2PMPeer` and
+``function`` the FOR-clause name the subscription used, so one factory can
+serve several aliases (e.g. ``inCOM``/``outCOM``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.alerters.axml_repo import AXMLRepositoryAlerter
+from repro.alerters.base import Alerter
+from repro.alerters.dht_membership import AreRegisteredAlerter
+from repro.alerters.rss import RSSFeedAlerter
+from repro.alerters.webpage import WebPageAlerter
+from repro.alerters.ws import WSAlerter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.p2pm_peer import P2PMPeer
+
+AlerterFactory = Callable[["P2PMPeer", str], Alerter]
+
+_FACTORIES: dict[str, AlerterFactory] = {}
+
+
+def register_alerter(*functions: str) -> Callable[[AlerterFactory], AlerterFactory]:
+    """Register a factory for the given P2PML function name(s)."""
+    if not functions:
+        raise ValueError("register_alerter needs at least one function name")
+
+    def decorator(factory: AlerterFactory) -> AlerterFactory:
+        for function in functions:
+            if function in _FACTORIES:
+                raise ValueError(f"alerter function {function!r} already registered")
+            _FACTORIES[function] = factory
+        return factory
+
+    return decorator
+
+
+def unregister_alerter(function: str) -> bool:
+    """Remove a registration (tests and plug-in reloads); False when unknown."""
+    return _FACTORIES.pop(function, None) is not None
+
+
+def alerter_functions() -> list[str]:
+    """All registered P2PML function names."""
+    return sorted(_FACTORIES)
+
+
+def create_alerter(peer: "P2PMPeer", function: str) -> Alerter:
+    """Build the alerter implementing ``function`` at ``peer``."""
+    factory = _FACTORIES.get(function)
+    if factory is None:
+        raise ValueError(
+            f"peer {peer.peer_id!r} cannot host an alerter for {function!r} "
+            f"(registered: {', '.join(alerter_functions())})"
+        )
+    return factory(peer, function)
+
+
+# -- built-in alerter kinds ------------------------------------------------------
+
+
+@register_alerter("inCOM")
+def _make_incom(peer: "P2PMPeer", function: str) -> Alerter:
+    return WSAlerter(peer.peer_id, "in")
+
+
+@register_alerter("outCOM")
+def _make_outcom(peer: "P2PMPeer", function: str) -> Alerter:
+    return WSAlerter(peer.peer_id, "out")
+
+
+@register_alerter("rssFeed", "rss")
+def _make_rss(peer: "P2PMPeer", function: str) -> Alerter:
+    url, source = peer.single_feed_source(function)
+    return RSSFeedAlerter(peer.peer_id, url, source)
+
+
+# the P2PML lexer normalises keyword-like alerter names to lower case
+@register_alerter("webPage", "webpage")
+def _make_webpage(peer: "P2PMPeer", function: str) -> Alerter:
+    alerter = WebPageAlerter(peer.peer_id)
+    for url, source in sorted(peer.feed_sources.items()):
+        alerter.watch(url, source)
+    return alerter
+
+
+@register_alerter("axmlRepo")
+def _make_axml(peer: "P2PMPeer", function: str) -> Alerter:
+    return AXMLRepositoryAlerter(peer.peer_id, peer.repository)
+
+
+@register_alerter("areRegistered")
+def _make_membership(peer: "P2PMPeer", function: str) -> Alerter:
+    return AreRegisteredAlerter(peer.peer_id, peer.system.kadop)

@@ -37,6 +37,8 @@ class Operator:
         self.output = output if output is not None else Stream(f"{self.name}-out")
         self.inputs: list[Stream] = []
         self._open_inputs = 0
+        self._unsubscribes: list[Callable[[], None]] = []
+        self.detached = False
         self.items_in = 0
         self.items_out = 0
 
@@ -54,8 +56,19 @@ class Operator:
         # Advertise the batch entry point so Stream.emit_many can hand over
         # whole bursts in one call (see Stream.emit_many).
         deliver.batch = lambda items, i=index: self._receive_batch(i, items)  # type: ignore[attr-defined]
-        stream.subscribe(deliver)
+        self._unsubscribes.append(stream.subscribe(deliver))
         return self
+
+    def detach(self) -> None:
+        """Unsubscribe from every input without closing the output stream.
+
+        Teardown (subscription cancellation) uses this: the operator stops
+        consuming immediately, while closing/retracting its output stays a
+        separate decision owned by the resource ledger.
+        """
+        self.detached = True
+        while self._unsubscribes:
+            self._unsubscribes.pop()()
 
     def _receive(self, index: int, item: object) -> None:
         if is_eos(item):

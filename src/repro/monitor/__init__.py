@@ -12,26 +12,45 @@ The top-level entry points are:
   monitoring plans.
 """
 
-from repro.monitor.subscription import Subscription, SubscriptionDatabase
+from repro.monitor.subscription import (
+    CANCELLED,
+    DEPLOYED,
+    PAUSED,
+    PENDING,
+    Subscription,
+    SubscriptionDatabase,
+    SubscriptionStateError,
+)
 from repro.monitor.stream_db import StreamDefinitionDatabase, StreamDescription
+from repro.monitor.lifecycle import DeliveryValve, ResourceLedger, ResultBuffer
 from repro.monitor.optimizer import optimize_plan
 from repro.monitor.placement import place_plan
 from repro.monitor.reuse import ReuseEngine, ReuseReport
 from repro.monitor.deployment import DeployedTask, Deployer
+from repro.monitor.handle import SubscriptionHandle
 from repro.monitor.manager import SubscriptionManager
 from repro.monitor.p2pm_peer import P2PMPeer, P2PMSystem
 
 __all__ = [
     "Subscription",
     "SubscriptionDatabase",
+    "SubscriptionStateError",
+    "PENDING",
+    "DEPLOYED",
+    "PAUSED",
+    "CANCELLED",
     "StreamDefinitionDatabase",
     "StreamDescription",
+    "DeliveryValve",
+    "ResourceLedger",
+    "ResultBuffer",
     "optimize_plan",
     "place_plan",
     "ReuseEngine",
     "ReuseReport",
     "DeployedTask",
     "Deployer",
+    "SubscriptionHandle",
     "SubscriptionManager",
     "P2PMPeer",
     "P2PMSystem",

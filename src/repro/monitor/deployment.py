@@ -7,12 +7,21 @@ published as a channel and the consumer subscribes to it -- exactly the
 rewrite rule (Section 3.3) and the channels X, Y, M of the Figure 4 plan.
 Every deployed stream is described in the Stream Definition Database so that
 later subscriptions can reuse it (Section 5).
+
+Deployment is *reversible*: every resource a plan instantiates (operator,
+stream, channel, channel subscription, Stream Definition Database
+advertisement) registers undo actions in the system's
+:class:`~repro.monitor.lifecycle.ResourceLedger`, reference-counted by its
+consumers.  Cancelling a subscription releases its references; resources
+whose last holder leaves are torn down and their advertisements retracted,
+while streams still feeding other subscriptions (Section 5 reuse) survive
+untouched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.algebra.operators import (
     DuplicateRemovalOperator,
@@ -36,19 +45,21 @@ from repro.algebra.plan import (
     PlanNode,
 )
 from repro.algebra.template import ValueRef
-from repro.publishers import (
-    ChannelPublisher,
-    EmailPublisher,
-    FilePublisher,
-    Publisher,
-    RSSPublisher,
-    WebPagePublisher,
-)
-from repro.streams.stream import Stream, collect
+from repro.monitor.lifecycle import DeliveryValve, ResultBuffer, run_all
+from repro.publishers import Publisher, PublisherContext, create_publisher
+from repro.streams.stream import Stream
 from repro.xmlmodel.tree import Element
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.monitor.p2pm_peer import P2PMPeer, P2PMSystem
+
+UndoAction = Callable[[], None]
+
+
+def _discard(bucket: list, item: object) -> None:
+    """Remove ``item`` from ``bucket`` if still present (idempotent teardown)."""
+    if item in bucket:
+        bucket.remove(item)
 
 
 @dataclass
@@ -68,17 +79,31 @@ class _StreamHandle:
 
 @dataclass
 class DeployedTask:
-    """A running monitoring task."""
+    """A running monitoring task (the deployment-side state of a subscription).
+
+    User code should not reach into this object: the public surface is the
+    :class:`~repro.monitor.handle.SubscriptionHandle` returned by
+    ``P2PMPeer.subscribe()`` / ``SubscriptionManager.submit()``.
+    """
 
     sub_id: str
     plan: PlanNode
     manager_peer: str
+    #: raw plan output at the manager peer (pre-valve)
     output_stream: Stream | None = None
-    results: list[Element] = field(default_factory=list)
+    #: post-valve stream the publisher / result buffer / callbacks consume
+    delivery: Stream | None = None
+    valve: DeliveryValve | None = None
+    results_buffer: ResultBuffer | None = None
     publisher: Publisher | None = None
     operators_by_peer: dict[str, list[Operator]] = field(default_factory=dict)
     channels_created: list[str] = field(default_factory=list)
     reuse_report: object | None = None
+    #: terminal teardown actions (valve, publisher, reference releases), run
+    #: in order by :meth:`teardown`; shared upstream resources are handled by
+    #: the resource ledger's refcounts.
+    undo: list[UndoAction] = field(default_factory=list)
+    torn_down: bool = False
 
     @property
     def operator_count(self) -> int:
@@ -86,6 +111,20 @@ class DeployedTask:
 
     def peers_involved(self) -> list[str]:
         return sorted(self.operators_by_peer)
+
+    def teardown(self) -> None:
+        """Detach delivery and release every resource reference this task holds.
+
+        All undo actions run even if one fails (the first error is re-raised
+        afterwards), so a transient failure cannot strand stale state such as
+        an unretracted advertisement.
+        """
+        if self.torn_down:
+            return
+        self.torn_down = True
+        actions = list(self.undo)
+        self.undo.clear()
+        run_all(actions)
 
 
 class DynamicAlerterSource:
@@ -122,8 +161,14 @@ class DynamicAlerterSource:
         elif kind == "leave" and peer_id in self._unsubscribe:
             self._unsubscribe.pop(peer_id)()
 
+    def shutdown(self) -> None:
+        """Disconnect from every monitored peer's alerter (teardown)."""
+        while self._unsubscribe:
+            _, unsubscribe = self._unsubscribe.popitem()
+            unsubscribe()
+
     def _forward(self, item: object) -> None:
-        if isinstance(item, Element):
+        if isinstance(item, Element) and not self.output.closed:
             self.output.emit(item)
 
 
@@ -136,7 +181,13 @@ class Deployer:
 
     # -- public API -------------------------------------------------------------------
 
-    def deploy(self, plan: PlanNode, sub_id: str, manager_peer: str) -> DeployedTask:
+    def deploy(
+        self,
+        plan: PlanNode,
+        sub_id: str,
+        manager_peer: str,
+        max_results: int | None = None,
+    ) -> DeployedTask:
         unplaced = plan.unplaced_nodes()
         if unplaced:
             raise ValueError(
@@ -144,14 +195,20 @@ class Deployer:
             )
         task = DeployedTask(sub_id=sub_id, plan=plan, manager_peer=manager_peer)
         self._counter = 0
+        holder = f"sub:{sub_id}"
         if plan.kind == PUBLISH:
             handle = self._deploy_node(plan.children[0], task)
-            self._deploy_publisher(plan, handle, task)
+            self._deploy_publisher(plan, handle, task, max_results)
         else:
             handle = self._deploy_node(plan, task)
-            input_stream = self._local_input(manager_peer, handle, task)
-            task.output_stream = input_stream
-            task.results = collect(input_stream)
+            sink: list[UndoAction] = []
+            input_stream = self._local_input(manager_peer, handle, task, holder, sink)
+            self._attach_delivery(task, input_stream, max_results)
+            task.undo.extend(sink)
+        # the subscription terminal holds the plan's root stream alive
+        ledger = self.system.resources
+        self._retain_stream(handle.original, holder)
+        task.undo.append(lambda: ledger.release(handle.original, holder))
         return task
 
     # -- node deployment -----------------------------------------------------------------
@@ -159,6 +216,15 @@ class Deployer:
     def _next_stream_id(self, sub_id: str) -> str:
         self._counter += 1
         return f"{sub_id}.s{self._counter}"
+
+    def _retain_stream(self, key: tuple[str, str], holder: str) -> None:
+        """Hold a reference on a (possibly foreign) stream's ledger entry."""
+        ledger = self.system.resources
+        if not ledger.known(key):
+            # stream advertised outside this deployer (tests, external
+            # systems): track holders, nothing to undo
+            ledger.register(key)
+        ledger.retain(key, holder)
 
     def _deploy_node(self, node: PlanNode, task: DeployedTask) -> _StreamHandle:
         if node.kind == ALERTER:
@@ -181,8 +247,19 @@ class Deployer:
             return self._deploy_dynamic_alerter(node, task, peer, function)
         alerter = peer.get_or_create_alerter(function)
         stream_id = alerter.output.stream_id
-        peer.ensure_channel(stream_id, alerter.output)
-        self.system.stream_db.publish_node(node, peer.peer_id, stream_id, [])
+        key = (peer.peer_id, stream_id)
+        ledger = self.system.resources
+        if ledger.register(key):
+            # first subscription over this alerter: publish the channel and
+            # the advertisement, and schedule their withdrawal for when the
+            # last consumer releases the stream.  The alerter object itself
+            # stays hosted (it keeps observing its external system) so a
+            # later subscription finds it again.
+            created_channel = peer.ensure_channel(stream_id, alerter.output)
+            doc_id = self.system.stream_db.publish_node(node, peer.peer_id, stream_id, [])
+            if created_channel:
+                ledger.add_undo(key, lambda: peer.net.unpublish_channel(stream_id))
+            ledger.add_undo(key, lambda: self.system.stream_db.retract(doc_id))
         self._record(task, peer.peer_id, None)
         return _StreamHandle(peer.peer_id, alerter.output, stream_id)
 
@@ -192,34 +269,76 @@ class Deployer:
         # deploy the membership stream (the node's child), then wire the
         # dynamic source to it
         membership_handle = self._deploy_node(node.children[0], task)
-        membership_stream = self._local_input(peer.peer_id, membership_handle, task)
         stream_id = self._next_stream_id(task.sub_id)
+        key = (peer.peer_id, stream_id)
+        holder = f"stream:{stream_id}@{peer.peer_id}"
+        ledger = self.system.resources
+        ledger.register(key)
+        sink: list[UndoAction] = []
+        membership_stream = self._local_input(peer.peer_id, membership_handle, task, holder, sink)
         output = peer.net.create_stream(stream_id)
         dynamic = DynamicAlerterSource(self.system, function, output)
-        membership_stream.subscribe(dynamic.on_membership_alert)
+        unsubscribe_membership = membership_stream.subscribe(dynamic.on_membership_alert)
         peer.dynamic_sources.append(dynamic)
-        peer.ensure_channel(stream_id, output)
-        self.system.stream_db.publish_node(
+        created_channel = peer.ensure_channel(stream_id, output)
+        doc_id = self.system.stream_db.publish_node(
             node, peer.peer_id, stream_id, [membership_handle.original]
         )
         self._record(task, peer.peer_id, None)
+        ledger.add_undo(key, unsubscribe_membership)
+        ledger.add_undo(key, dynamic.shutdown)
+        ledger.add_undo(key, lambda: _discard(peer.dynamic_sources, dynamic))
+        ledger.add_undo(key, output.close)
+        if created_channel:
+            ledger.add_undo(key, lambda: peer.net.unpublish_channel(stream_id))
+        ledger.add_undo(key, lambda: peer.net.drop_stream(stream_id))
+        ledger.add_undo(key, lambda: self.system.stream_db.retract(doc_id))
+        for action in sink:
+            ledger.add_undo(key, action)
+        self._retain_stream(membership_handle.original, holder)
+        ledger.add_undo(
+            key, lambda: ledger.release(membership_handle.original, holder)
+        )
         return _StreamHandle(peer.peer_id, output, stream_id)
 
     def _deploy_operator(self, node: PlanNode, task: DeployedTask) -> _StreamHandle:
         peer = self.system.peer(node.placement)
         child_handles = [self._deploy_node(child, task) for child in node.children]
-        input_streams = [self._local_input(peer.peer_id, handle, task) for handle in child_handles]
         stream_id = self._next_stream_id(task.sub_id)
+        key = (peer.peer_id, stream_id)
+        holder = f"stream:{stream_id}@{peer.peer_id}"
+        ledger = self.system.resources
+        ledger.register(key)
+        sink: list[UndoAction] = []
+        input_streams = [
+            self._local_input(peer.peer_id, handle, task, holder, sink)
+            for handle in child_handles
+        ]
         output = peer.net.create_stream(stream_id)
         operator = self._make_operator(node, peer, output)
         for stream in input_streams:
             operator.connect(stream)
         peer.operators.append(operator)
-        peer.ensure_channel(stream_id, output)
-        self.system.stream_db.publish_node(
+        created_channel = peer.ensure_channel(stream_id, output)
+        doc_id = self.system.stream_db.publish_node(
             node, peer.peer_id, stream_id, [handle.original for handle in child_handles]
         )
         self._record(task, peer.peer_id, operator)
+        # teardown, in order: stop consuming, then withdraw the output
+        ledger.add_undo(key, operator.detach)
+        ledger.add_undo(key, lambda: _discard(peer.operators, operator))
+        ledger.add_undo(key, output.close)
+        if created_channel:
+            ledger.add_undo(key, lambda: peer.net.unpublish_channel(stream_id))
+        ledger.add_undo(key, lambda: peer.net.drop_stream(stream_id))
+        ledger.add_undo(key, lambda: self.system.stream_db.retract(doc_id))
+        for action in sink:
+            ledger.add_undo(key, action)
+        for handle in child_handles:
+            self._retain_stream(handle.original, holder)
+            ledger.add_undo(
+                key, lambda k=handle.original: ledger.release(k, holder)
+            )
         return _StreamHandle(peer.peer_id, output, stream_id)
 
     def _make_operator(self, node: PlanNode, peer: "P2PMPeer", output: Stream) -> Operator:
@@ -252,63 +371,124 @@ class Deployer:
     # -- cross-peer wiring ------------------------------------------------------------------
 
     def _local_input(
-        self, consumer_peer_id: str, handle: _StreamHandle, task: DeployedTask
+        self,
+        consumer_peer_id: str,
+        handle: _StreamHandle,
+        task: DeployedTask,
+        holder: str,
+        sink: list[UndoAction],
     ) -> Stream:
-        """Return a stream local to ``consumer_peer_id`` carrying ``handle``'s items."""
+        """Return a stream local to ``consumer_peer_id`` carrying ``handle``'s items.
+
+        Cross-peer consumption allocates a channel subscription (and possibly
+        a replica advertisement); both are ledger entries shared between every
+        local consumer of the same channel, so ``holder``'s release -- queued
+        on ``sink`` -- only tears them down when the last consumer leaves.
+        """
         if handle.peer_id == consumer_peer_id and handle.stream is not None:
             return handle.stream
         producer = self.system.peer(handle.peer_id)
         if handle.stream is not None:
             producer.ensure_channel(handle.stream_id, handle.stream)
         consumer = self.system.peer(consumer_peer_id)
+        ledger = self.system.resources
+        proxy_key = ("proxy", consumer_peer_id, handle.peer_id, handle.stream_id)
+        first_local_consumer = ledger.register(proxy_key)
         proxy = consumer.net.subscribe_channel(handle.peer_id, handle.stream_id)
         task.channels_created.append(f"#{handle.stream_id}@{handle.peer_id}")
-        if self.publish_replicas and handle.original[0] != consumer_peer_id:
-            # the consumer re-publishes the proxy as a channel, so it genuinely
-            # can provide the stream to others, and declares the replica
-            consumer.ensure_channel(proxy.stream_id, proxy)
-            self.system.stream_db.publish_replica(
-                handle.original[0], handle.original[1], consumer_peer_id, proxy.stream_id
+        if first_local_consumer:
+            if self.publish_replicas and handle.original[0] != consumer_peer_id:
+                # the consumer re-publishes the proxy as a channel, so it genuinely
+                # can provide the stream to others, and declares the replica
+                replica_channel = consumer.ensure_channel(proxy.stream_id, proxy)
+                replica_doc = self.system.stream_db.publish_replica(
+                    handle.original[0], handle.original[1], consumer_peer_id, proxy.stream_id
+                )
+                replica_id = (consumer_peer_id, proxy.stream_id)
+                self.system.replica_providers[replica_id] = proxy_key
+                ledger.add_undo(
+                    proxy_key, lambda: self.system.stream_db.retract(replica_doc)
+                )
+                ledger.add_undo(
+                    proxy_key,
+                    lambda: self.system.replica_providers.pop(replica_id, None),
+                )
+                if replica_channel:
+                    ledger.add_undo(
+                        proxy_key,
+                        lambda: consumer.net.unpublish_channel(proxy.stream_id),
+                    )
+            ledger.add_undo(
+                proxy_key,
+                lambda: consumer.net.channels.unsubscribe_remote(
+                    handle.peer_id, handle.stream_id
+                ),
             )
+            # a replica provider is itself carried by another channel
+            # subscription: hold that upstream entry so the transport chain
+            # outlives the subscription that first created it
+            upstream_key = self.system.replica_providers.get(
+                (handle.peer_id, handle.stream_id)
+            )
+            if upstream_key is not None and upstream_key != proxy_key:
+                upstream_holder = f"proxy:{consumer_peer_id}:{handle.peer_id}:{handle.stream_id}"
+                ledger.retain(upstream_key, upstream_holder)
+                ledger.add_undo(
+                    proxy_key,
+                    lambda: ledger.release(upstream_key, upstream_holder),
+                )
+        ledger.retain(proxy_key, holder)
+        sink.append(lambda: ledger.release(proxy_key, holder))
         return proxy
 
-    # -- publishers --------------------------------------------------------------------------
+    # -- delivery & publishers ---------------------------------------------------------------
 
-    def _deploy_publisher(self, node: PlanNode, handle: _StreamHandle, task: DeployedTask) -> None:
-        peer = self.system.peer(node.placement)
-        input_stream = self._local_input(peer.peer_id, handle, task)
+    def _attach_delivery(
+        self, task: DeployedTask, input_stream: Stream, max_results: int | None
+    ) -> None:
+        """Insert the pause/resume valve and the (opt-in, bounded) result buffer."""
         task.output_stream = input_stream
-        task.results = collect(input_stream)
+        valve = DeliveryValve(input_stream)
+        task.valve = valve
+        task.delivery = valve.out
+        if max_results is not None:
+            buffer = ResultBuffer(max_results)
+            valve.out.subscribe(buffer.push)
+            task.results_buffer = buffer
+        task.undo.append(valve.detach)
+
+    def _deploy_publisher(
+        self,
+        node: PlanNode,
+        handle: _StreamHandle,
+        task: DeployedTask,
+        max_results: int | None,
+    ) -> None:
+        peer = self.system.peer(node.placement)
+        holder = f"sub:{task.sub_id}"
+        sink: list[UndoAction] = []
+        input_stream = self._local_input(peer.peer_id, handle, task, holder, sink)
+        self._attach_delivery(task, input_stream, max_results)
         mode = node.params.get("mode", "local")
-        publisher: Publisher | None = None
-        if mode == "channel":
-            # channel names are per-peer unique; a second subscription asking
-            # for an already-used name gets a suffixed channel
-            target = node.params["target"]
-            suffix = 2
-            while peer.net.channels.publishes(target):
-                target = f"{node.params['target']}-{suffix}"
-                suffix += 1
-            publisher = ChannelPublisher(peer.net, target)
-            subscriber = node.params.get("subscriber")
-            if subscriber:
-                publisher.add_subscriber(subscriber[0])
-            task.channels_created.append(f"#{target}@{peer.peer_id}")
-        elif mode == "email":
-            publisher = EmailPublisher(node.params["target"])
-        elif mode == "file":
-            publisher = FilePublisher(node.params.get("path"))
-        elif mode == "rss":
-            publisher = RSSPublisher(node.params["target"])
-        elif mode == "webpage":
-            publisher = WebPagePublisher(node.params["target"])
-        elif mode != "local":
-            raise ValueError(f"unknown publication mode {mode!r}")
-        if publisher is not None:
-            publisher.connect(input_stream)
+        if mode != "local":
+            ctx = PublisherContext(
+                peer=peer,
+                params=node.params,
+                system=self.system,
+                sub_id=task.sub_id,
+                operand=handle.original,
+                node=node,
+            )
+            publisher = create_publisher(mode, ctx)
+            publisher.connect(task.delivery)
             peer.publishers.append(publisher)
+            task.channels_created.extend(ctx.channels_created)
             self._record(task, peer.peer_id, None)
-        task.publisher = publisher
+            task.publisher = publisher
+            task.undo.append(publisher.disconnect)
+            task.undo.append(lambda: _discard(peer.publishers, publisher))
+            task.undo.extend(ctx.undo)
+        task.undo.extend(sink)
 
     # -- bookkeeping -----------------------------------------------------------------------------
 

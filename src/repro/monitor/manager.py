@@ -5,18 +5,32 @@ subscription to a peer which becomes Subscription Manager for this
 subscription. ... The Subscription Manager is in charge of translating the
 subscription into a monitoring plan, optimizing this plan, and then
 deploying the optimized plan."
+
+The manager also owns the rest of the subscription's life: ``submit()``
+returns a :class:`~repro.monitor.handle.SubscriptionHandle`, and
+``cancel()`` / ``pause()`` / ``resume()`` drive the status transitions
+recorded in the Subscription Database.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.monitor.deployment import DeployedTask, Deployer
+from repro.monitor.deployment import Deployer
+from repro.monitor.handle import SubscriptionHandle
 from repro.monitor.optimizer import optimize_plan
 from repro.monitor.placement import place_plan
 from repro.monitor.reuse import ReuseEngine
-from repro.monitor.subscription import DEPLOYED, Subscription, SubscriptionDatabase
+from repro.monitor.subscription import (
+    CANCELLED,
+    DEPLOYED,
+    PAUSED,
+    Subscription,
+    SubscriptionDatabase,
+    SubscriptionStateError,
+)
 from repro.p2pml.ast import SubscriptionAST
+from repro.p2pml.builder import SubscriptionBuilder
 from repro.p2pml.compiler import compile_subscription
 from repro.p2pml.parser import parse_subscription
 
@@ -25,27 +39,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class SubscriptionManager:
-    """Per-peer manager: compile, optimise, reuse, place and deploy subscriptions."""
+    """Per-peer manager: compile, optimise, reuse, place, deploy and retire."""
 
     def __init__(self, peer: "P2PMPeer") -> None:
         self.peer = peer
         self.database = SubscriptionDatabase()
 
+    # -- submission ------------------------------------------------------------
+
     def submit(
         self,
-        subscription: str | SubscriptionAST,
+        subscription: str | SubscriptionAST | SubscriptionBuilder,
         sub_id: str | None = None,
         reuse: bool = True,
         push_selections: bool = True,
-    ) -> DeployedTask:
-        """Accept a subscription (text or AST) and deploy its monitoring task.
+        max_results: int | None = None,
+    ) -> SubscriptionHandle:
+        """Accept a subscription and deploy its monitoring task.
 
-        ``reuse`` and ``push_selections`` exist so that benchmarks can measure
-        the effect of disabling the corresponding optimisation.
+        ``subscription`` may be P2PML text, a pre-parsed AST, or a
+        :class:`~repro.p2pml.builder.SubscriptionBuilder` -- all compile to
+        the same plans.  ``reuse`` and ``push_selections`` exist so that
+        benchmarks can measure the effect of disabling the corresponding
+        optimisation.  ``max_results`` opts into a bounded result buffer
+        readable through ``handle.results()``; without it results are
+        consumed via ``handle.on_result()`` or the configured publisher.
         """
         if isinstance(subscription, str):
             text: str | None = subscription
             ast = parse_subscription(subscription)
+        elif isinstance(subscription, SubscriptionBuilder):
+            text = None
+            ast = subscription.build()
         else:
             text = None
             ast = subscription
@@ -65,17 +90,83 @@ class SubscriptionManager:
 
         place_plan(plan, manager_peer=self.peer.peer_id, load=self.peer.system.placement_load)
 
-        deployer = Deployer(self.peer.system, publish_replicas=self.peer.system.publish_replicas)
-        task = deployer.deploy(plan, sub_id, manager_peer=self.peer.peer_id)
-        task.reuse_report = reuse_report
-
         record = Subscription(
             sub_id=sub_id,
             text=text,
             ast=ast,
             plan=plan,
-            status=DEPLOYED,
             manager_peer=self.peer.peer_id,
         )
         self.database.add(record)
-        return task
+
+        try:
+            deployer = Deployer(
+                self.peer.system, publish_replicas=self.peer.system.publish_replicas
+            )
+            task = deployer.deploy(
+                plan, sub_id, manager_peer=self.peer.peer_id, max_results=max_results
+            )
+        except Exception:
+            # a failed deployment must not poison the sub_id with a phantom
+            # pending record: the caller may retry under the same id
+            self.database.remove(sub_id)
+            raise
+        task.reuse_report = reuse_report
+        record.task = task
+        self.database.mark(sub_id, DEPLOYED)
+        return SubscriptionHandle(self, record)
+
+    def handle(self, sub_id: str) -> SubscriptionHandle:
+        """A (new) handle on an already-registered subscription."""
+        return SubscriptionHandle(self, self.database.get(sub_id))
+
+    # -- lifecycle verbs --------------------------------------------------------
+
+    def cancel(self, sub_id: str) -> bool:
+        """Retire a subscription: detach, release references, mark cancelled.
+
+        Resources shared with other subscriptions (reused streams, shared
+        alerters) survive; everything this subscription exclusively owns is
+        torn down and its Stream Definition Database advertisements are
+        retracted.  Returns False when the subscription was already
+        cancelled.
+        """
+        record = self.database.get(sub_id)
+        if record.status == CANCELLED:
+            return False
+        self.database.mark(sub_id, CANCELLED)
+        if record.task is not None:
+            record.task.teardown()
+        return True
+
+    def pause(self, sub_id: str) -> None:
+        """Suspend result delivery; the deployed plan keeps running."""
+        record = self.database.get(sub_id)
+        if record.status == PAUSED:
+            return
+        self.database.mark(sub_id, PAUSED)
+        if record.task is not None and record.task.valve is not None:
+            record.task.valve.pause()
+
+    def resume(self, sub_id: str) -> None:
+        """Restart delivery after :meth:`pause`, without redeployment."""
+        record = self.database.get(sub_id)
+        if record.status == DEPLOYED:
+            return
+        self.database.mark(sub_id, DEPLOYED)
+        if record.task is not None and record.task.valve is not None:
+            record.task.valve.resume()
+
+    # -- introspection ----------------------------------------------------------
+
+    def active_subscriptions(self) -> list[str]:
+        """Ids of subscriptions currently deployed or paused."""
+        return sorted(
+            record.sub_id
+            for record in (
+                self.database.with_status(DEPLOYED) + self.database.with_status(PAUSED)
+            )
+        )
+
+
+__all__ = ["SubscriptionManager", "SubscriptionStateError"]

@@ -11,18 +11,10 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.alerters import (
-    ALERTER_KINDS,
-    Alerter,
-    AreRegisteredAlerter,
-    AXMLRepository,
-    AXMLRepositoryAlerter,
-    RSSFeedAlerter,
-    WebPageAlerter,
-    WSAlerter,
-)
+from repro.alerters import Alerter, AXMLRepository, create_alerter
 from repro.dht.chord import ChordRing
 from repro.dht.kadop import KadopIndex
+from repro.monitor.lifecycle import ResourceLedger
 from repro.monitor.manager import SubscriptionManager
 from repro.monitor.stream_db import StreamDefinitionDatabase
 from repro.net.peer import Peer
@@ -40,6 +32,13 @@ class P2PMSystem:
         self.network = SimNetwork(seed=seed)
         self.kadop = KadopIndex(ChordRing())
         self.stream_db = StreamDefinitionDatabase(self.kadop)
+        #: refcounted registry of deployed resources; cancellation releases
+        #: references and tears down what nothing else holds (Section 5 reuse)
+        self.resources = ResourceLedger()
+        #: provenance of replica streams: (replica_peer, replica_stream) ->
+        #: ledger key of the channel subscription that carries it, so a
+        #: consumer picking a replica provider keeps the transport chain alive
+        self.replica_providers: dict[tuple[str, str], object] = {}
         self.publish_replicas = publish_replicas
         #: operators assigned per peer so far; shared across subscription
         #: managers so that placement balances the load globally
@@ -105,7 +104,16 @@ class P2PMPeer:
     # -- subscriptions -----------------------------------------------------------------
 
     def subscribe(self, subscription, sub_id: str | None = None, **options):
-        """Submit a P2PML subscription; this peer becomes its Subscription Manager."""
+        """Submit a subscription; this peer becomes its Subscription Manager.
+
+        ``subscription`` is P2PML text, a parsed
+        :class:`~repro.p2pml.ast.SubscriptionAST`, or a
+        :class:`~repro.p2pml.builder.SubscriptionBuilder`.  Returns the
+        :class:`~repro.monitor.handle.SubscriptionHandle` through which
+        results are consumed and the lifecycle (``pause``/``resume``/
+        ``cancel``) is driven.  Pass ``max_results=N`` to opt into a bounded
+        result buffer readable via ``handle.results()``.
+        """
         return self.manager.submit(subscription, sub_id=sub_id, **options)
 
     # -- alerter hosting -----------------------------------------------------------------
@@ -139,31 +147,25 @@ class P2PMPeer:
         return sorted(self._alerters)
 
     def get_or_create_alerter(self, function: str) -> Alerter:
-        """Return the alerter implementing ``function``, creating it if needed."""
+        """Return the alerter implementing ``function``, creating it if needed.
+
+        Creation is delegated to the declarative alerter registry
+        (:func:`repro.alerters.register_alerter`), so new alerter kinds plug
+        in without touching this peer or the deployment layer.
+        """
         existing = self._alerters.get(function)
         if existing is not None:
             return existing
-        kind, options = ALERTER_KINDS.get(function, (None, {}))
-        if kind == "ws":
-            alerter: Alerter = WSAlerter(self.peer_id, options["direction"])
-        elif kind == "rss":
-            url, source = self._single_feed_source(function)
-            alerter = RSSFeedAlerter(self.peer_id, url, source)
-        elif kind == "webpage":
-            alerter = WebPageAlerter(self.peer_id)
-            for url, source in sorted(self._feed_sources.items()):
-                alerter.watch(url, source)
-        elif kind == "axml":
-            alerter = AXMLRepositoryAlerter(self.peer_id, self.repository)
-        elif kind == "membership":
-            alerter = AreRegisteredAlerter(self.peer_id, self.system.kadop)
-        else:
-            raise ValueError(
-                f"peer {self.peer_id!r} cannot host an alerter for {function!r}"
-            )
-        return self.host_alerter(function, alerter)
+        # create_alerter's error already names this peer and the registered kinds
+        return self.host_alerter(function, create_alerter(self, function))
 
-    def _single_feed_source(self, function: str):
+    @property
+    def feed_sources(self) -> dict[str, Callable]:
+        """Snapshot sources of the RSS feeds / Web pages served at this peer."""
+        return dict(self._feed_sources)
+
+    def single_feed_source(self, function: str):
+        """The (url, source) pair of this peer's feed; alerter factories use it."""
         if not self._feed_sources:
             raise ValueError(
                 f"peer {self.peer_id!r} has no registered feed for alerter {function!r}"
@@ -173,10 +175,16 @@ class P2PMPeer:
 
     # -- channels --------------------------------------------------------------------------
 
-    def ensure_channel(self, channel_id: str, stream: Stream) -> None:
-        """Publish ``stream`` as a channel unless it is already published."""
-        if not self.net.channels.publishes(channel_id):
-            self.net.publish_channel(channel_id, stream)
+    def ensure_channel(self, channel_id: str, stream: Stream) -> bool:
+        """Publish ``stream`` as a channel unless already published.
+
+        Returns True when this call actually published the channel, so the
+        caller knows whether it owns the corresponding teardown.
+        """
+        if self.net.channels.publishes(channel_id):
+            return False
+        self.net.publish_channel(channel_id, stream)
+        return True
 
     def __repr__(self) -> str:
         return (

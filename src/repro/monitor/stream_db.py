@@ -82,6 +82,7 @@ class StreamDefinitionDatabase:
         self.index = index if index is not None else KadopIndex()
         self.streams_published = 0
         self.replicas_published = 0
+        self.descriptions_retracted = 0
 
     # -- publication ---------------------------------------------------------------
 
@@ -156,6 +157,19 @@ class StreamDefinitionDatabase:
         doc_id = f"replica:{replica_stream_id}@{replica_peer_id}"
         self.index.publish(description, doc_id)
         return doc_id
+
+    # -- retraction ---------------------------------------------------------------
+
+    def retract(self, doc_id: str) -> bool:
+        """Withdraw a published description (stream or replica) by document id.
+
+        Cancellation uses this so that the Reuse algorithm stops matching
+        streams that are no longer produced.  Returns False when unknown.
+        """
+        removed = self.index.unpublish(doc_id)
+        if removed:
+            self.descriptions_retracted += 1
+        return removed
 
     # -- queries (the ones of Section 5) -------------------------------------------------
 

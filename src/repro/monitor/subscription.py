@@ -7,14 +7,31 @@ responsibility in a database named Subscription Database." (Section 3.1)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.algebra.plan import PlanNode
 from repro.p2pml.ast import SubscriptionAST
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.deployment import DeployedTask
+
 #: Lifecycle states of a subscription.
 PENDING = "pending"
 DEPLOYED = "deployed"
+PAUSED = "paused"
 CANCELLED = "cancelled"
+
+#: Legal status transitions driven by the lifecycle verbs.
+TRANSITIONS: dict[str, set[str]] = {
+    PENDING: {DEPLOYED, CANCELLED},
+    DEPLOYED: {PAUSED, CANCELLED},
+    PAUSED: {DEPLOYED, CANCELLED},
+    CANCELLED: set(),
+}
+
+
+class SubscriptionStateError(RuntimeError):
+    """Raised on an illegal lifecycle transition (e.g. resuming a cancelled task)."""
 
 
 @dataclass
@@ -27,6 +44,7 @@ class Subscription:
     plan: PlanNode | None = None
     status: str = PENDING
     manager_peer: str | None = None
+    task: "DeployedTask | None" = None
     notes: dict[str, object] = field(default_factory=dict)
 
 
@@ -49,6 +67,10 @@ class SubscriptionDatabase:
     def get(self, sub_id: str) -> Subscription:
         return self._subscriptions[sub_id]
 
+    def remove(self, sub_id: str) -> bool:
+        """Drop a record entirely (failed deployments); False when unknown."""
+        return self._subscriptions.pop(sub_id, None) is not None
+
     def __contains__(self, sub_id: str) -> bool:
         return sub_id in self._subscriptions
 
@@ -63,4 +85,12 @@ class SubscriptionDatabase:
         return [sub for sub in self._subscriptions.values() if sub.status == status]
 
     def mark(self, sub_id: str, status: str) -> None:
-        self._subscriptions[sub_id].status = status
+        """Drive a status transition, validating it against :data:`TRANSITIONS`."""
+        record = self._subscriptions[sub_id]
+        if status == record.status:
+            return
+        if status not in TRANSITIONS.get(record.status, set()):
+            raise SubscriptionStateError(
+                f"subscription {sub_id!r} cannot go from {record.status!r} to {status!r}"
+            )
+        record.status = status

@@ -39,6 +39,8 @@ class Channel:
     channel_id: str
     stream: Stream
     subscribers: set[str] = field(default_factory=set)
+    #: detaches the registry's forwarder from the underlying stream
+    unsubscribe: object | None = field(default=None, repr=False)
 
     @property
     def qualified_id(self) -> str:
@@ -61,6 +63,7 @@ class ChannelRegistry:
         self._peer = peer
         self._published: dict[str, Channel] = {}
         self._proxies: dict[tuple[str, str], RemoteChannelProxy] = {}
+        self._proxy_unsubscribes: dict[tuple[str, str], object] = {}
         peer.register_handler(MSG_SUBSCRIBE, self._on_subscribe)
         peer.register_handler(MSG_UNSUBSCRIBE, self._on_unsubscribe)
         peer.register_handler(MSG_ITEM, self._on_item)
@@ -76,8 +79,26 @@ class ChannelRegistry:
             )
         channel = Channel(self._peer.peer_id, channel_id, stream)
         self._published[channel_id] = channel
-        stream.subscribe(lambda item: self._forward(channel, item))
+        channel.unsubscribe = stream.subscribe(lambda item: self._forward(channel, item))
         return channel
+
+    def unpublish(self, channel_id: str) -> bool:
+        """Withdraw a published channel, freeing its name for reuse.
+
+        The forwarder is detached from the underlying stream and remote
+        subscribers are notified with an end-of-channel message.  Returns
+        False when the channel was not published here.
+        """
+        channel = self._published.pop(channel_id, None)
+        if channel is None:
+            return False
+        if callable(channel.unsubscribe):
+            channel.unsubscribe()
+        payload = Element("channelEos", {"channelId": channel.channel_id})
+        for subscriber in sorted(channel.subscribers):
+            self._peer.send(subscriber, MSG_EOS, payload)
+        channel.subscribers.clear()
+        return True
 
     def published(self, channel_id: str) -> Channel:
         try:
@@ -123,7 +144,7 @@ class ChannelRegistry:
             # without adding self to the subscriber set (which would cause
             # self-addressed network messages and double delivery).
             channel = self.published(channel_id)
-            channel.stream.subscribe(proxy.push)
+            self._proxy_unsubscribes[key] = channel.stream.subscribe(proxy.push)
         else:
             request = Element(
                 "subscribe",
@@ -135,6 +156,9 @@ class ChannelRegistry:
     def unsubscribe_remote(self, publisher_id: str, channel_id: str) -> None:
         key = (publisher_id, channel_id)
         self._proxies.pop(key, None)
+        unsubscribe = self._proxy_unsubscribes.pop(key, None)
+        if callable(unsubscribe):
+            unsubscribe()
         if publisher_id != self._peer.peer_id:
             request = Element(
                 "unsubscribe",

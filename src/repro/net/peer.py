@@ -100,5 +100,13 @@ class Peer:
         """Subscribe to ``#channel_id@publisher_id``; returns the local proxy stream."""
         return self.channels.subscribe_remote(publisher_id, channel_id)
 
+    def unpublish_channel(self, channel_id: str) -> bool:
+        """Withdraw channel ``#channel_id@self``; returns False when unknown."""
+        return self.channels.unpublish(channel_id)
+
+    def drop_stream(self, stream_id: str) -> bool:
+        """Forget a local stream (teardown); returns False when unknown."""
+        return self._streams.pop(stream_id, None) is not None
+
     def __repr__(self) -> str:
         return f"Peer({self.peer_id!r}, streams={len(self._streams)})"

@@ -34,10 +34,12 @@ from repro.p2pml.ast import (
 )
 from repro.p2pml.parser import parse_subscription
 from repro.p2pml.compiler import compile_subscription, compile_text
+from repro.p2pml.builder import SubscriptionBuilder
 
 __all__ = [
     "P2PMLCompileError",
     "P2PMLSyntaxError",
+    "SubscriptionBuilder",
     "AlerterSource",
     "ByClause",
     "Condition",

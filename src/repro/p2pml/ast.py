@@ -21,6 +21,39 @@ class Operand:
     detail: str | None = None
     value: str | None = None
 
+    @classmethod
+    def parse(cls, text: "str | int | float | Operand") -> "Operand":
+        """Build an operand from its P2PML surface syntax.
+
+        ``$var.attr`` is an attribute reference, ``$var/xpath`` a path,
+        ``$var`` a bare variable; numbers (or numeric strings) are number
+        literals and anything else -- optionally double-quoted -- a string
+        literal.  The programmatic :class:`~repro.p2pml.builder.\
+        SubscriptionBuilder` uses this so fluent conditions read like the
+        textual language.
+        """
+        if isinstance(text, Operand):
+            return text
+        if isinstance(text, (int, float)):
+            return cls("number", value=repr(text))
+        text = text.strip()
+        if text.startswith("$"):
+            body = text[1:]
+            if "/" in body and ("." not in body or body.index("/") < body.index(".")):
+                var, detail = body.split("/", 1)
+                return cls("path", var=var, detail=detail)
+            if "." in body:
+                var, detail = body.split(".", 1)
+                return cls("attribute", var=var, detail=detail)
+            return cls("variable", var=body)
+        if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+            return cls("literal", value=text[1:-1])
+        try:
+            float(text)
+        except ValueError:
+            return cls("literal", value=text)
+        return cls("number", value=text)
+
     @property
     def is_reference(self) -> bool:
         return self.kind in ("attribute", "path", "variable")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.streams.item import is_eos
 from repro.streams.stream import Stream
 from repro.xmlmodel.tree import Element
@@ -15,10 +17,16 @@ class Publisher:
     def __init__(self) -> None:
         self.items_published = 0
         self.closed = False
+        self._unsubscribes: list[Callable[[], None]] = []
 
     def connect(self, stream: Stream) -> "Publisher":
-        stream.subscribe(self._receive)
+        self._unsubscribes.append(stream.subscribe(self._receive))
         return self
+
+    def disconnect(self) -> None:
+        """Stop consuming every connected stream (used at cancellation)."""
+        while self._unsubscribes:
+            self._unsubscribes.pop()()
 
     def _receive(self, item: object) -> None:
         if is_eos(item):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.monitor.deployment import DeployedTask
+from repro.monitor.handle import SubscriptionHandle
 from repro.monitor.p2pm_peer import P2PMPeer, P2PMSystem
 from repro.workloads.soap_traffic import SoapCall, SoapTrafficGenerator
 from repro.xmlmodel.tree import Element
@@ -47,8 +47,10 @@ class MeteoScenario:
     clients: list[str] = field(default_factory=lambda: ["a.com", "b.com"])
     server: str = "meteo.com"
     traffic: SoapTrafficGenerator = field(init=False)
-    task: DeployedTask | None = field(init=False, default=None)
+    task: SubscriptionHandle | None = field(init=False, default=None)
     calls: list[SoapCall] = field(init=False, default_factory=list)
+    #: result-buffer bound passed to subscribe() (results are opt-in + bounded)
+    max_results: int = 10_000
 
     def __post_init__(self) -> None:
         self.system = P2PMSystem(seed=self.seed)
@@ -78,8 +80,9 @@ class MeteoScenario:
     def subscription_text(self) -> str:
         return METEO_SUBSCRIPTION_TEMPLATE.format(threshold=self.threshold)
 
-    def deploy(self, **options) -> DeployedTask:
+    def deploy(self, **options) -> SubscriptionHandle:
         """Submit the Figure 1 subscription at the monitor peer."""
+        options.setdefault("max_results", self.max_results)
         self.task = self.monitor.subscribe(self.subscription_text(), sub_id="meteo-qos", **options)
         self.system.run()
         return self.task
@@ -105,4 +108,4 @@ class MeteoScenario:
 
     def incidents(self) -> list[Element]:
         """The incident items actually produced by the deployed task."""
-        return list(self.task.results) if self.task is not None else []
+        return self.task.results() if self.task is not None else []

@@ -31,22 +31,23 @@ def test_dynamic_alerter_follows_joins_and_leaves():
         return <seen callee="{$c.callee}"/>
         """,
         sub_id="dynamic-watch",
+        max_results=1024,
     )
     system.run()
 
     # no server is registered in the monitored DHT yet: nothing is observed
     traffic.run(30)
     system.run()
-    assert task.results == []
+    assert task.results() == []
 
     # server0 registers: only its calls are observed from now on
     system.kadop.join_peer("server0.example")
     system.run()
     traffic.run(60)
     system.run()
-    observed = {item.attrib["callee"] for item in task.results}
+    observed = {item.attrib["callee"] for item in task.results()}
     assert observed == {"server0.example"}
-    count_after_first_phase = len(task.results)
+    count_after_first_phase = len(task.results())
     assert count_after_first_phase > 0
 
     # server1 registers too
@@ -54,13 +55,13 @@ def test_dynamic_alerter_follows_joins_and_leaves():
     system.run()
     traffic.run(60)
     system.run()
-    observed = {item.attrib["callee"] for item in task.results}
+    observed = {item.attrib["callee"] for item in task.results()}
     assert observed == {"server0.example", "server1.example"}
 
     # server0 leaves: its calls stop being reported
     system.kadop.leave_peer("server0.example")
     system.run()
-    before = len(task.results)
+    before = len(task.results())
     only_server0 = SoapTrafficGenerator(
         clients=["client.example"], servers=["server0.example"], methods=["Get"], seed=9
     )
@@ -68,4 +69,4 @@ def test_dynamic_alerter_follows_joins_and_leaves():
     only_server0.attach_alerter(alerter)
     only_server0.run(40)
     system.run()
-    assert len(task.results) == before
+    assert len(task.results()) == before

@@ -68,7 +68,8 @@ class TestSubscriptionManagement:
         system.peer("feeds.example").register_feed(feed.feed_url, feed.snapshot)
         task = monitor.subscribe(
             'for $x in rssFeed(<p>feeds.example</p>) where $x.kind = "add" '
-            "return <fresh>{$x.entry}</fresh>"
+            "return <fresh>{$x.entry}</fresh>",
+            max_results=256,
         )
         system.run()
         alerter = system.peer("feeds.example").alerter("rssFeed")
@@ -78,19 +79,19 @@ class TestSubscriptionManagement:
             alerter.poll()
         system.run()
         assert task.publisher is None
-        assert all(item.tag == "fresh" for item in task.results)
-        assert task.results, "feed churn should produce additions"
+        assert all(item.tag == "fresh" for item in task.results())
+        assert task.results(), "feed churn should produce additions"
 
     def test_email_publication(self):
         scenario = MeteoScenario(seed=9)
         text = scenario.subscription_text().replace(
             'by publish as channel "alertQoS"', 'by email "ops@example.org"'
         )
-        task = scenario.monitor.subscribe(text, sub_id="mail-alerts")
+        task = scenario.monitor.subscribe(text, sub_id="mail-alerts", max_results=1024)
         scenario.system.run()
         scenario.run_traffic(200)
         outbox = task.publisher.outbox
-        assert len(outbox) == len(task.results)
+        assert len(outbox) == len(task.results())
         assert outbox, "slow calls should have been mailed"
 
 
@@ -99,7 +100,9 @@ class TestStreamReuseEndToEnd:
         scenario = MeteoScenario(seed=13)
         first = scenario.deploy()
         assert first.reuse_report.nodes_reused == 0
-        second = scenario.monitor.subscribe(scenario.subscription_text(), sub_id="meteo-qos-2")
+        second = scenario.monitor.subscribe(
+            scenario.subscription_text(), sub_id="meteo-qos-2", max_results=10_000
+        )
         scenario.system.run()
         report = second.reuse_report
         assert report.nodes_reused > 0
@@ -108,8 +111,8 @@ class TestStreamReuseEndToEnd:
         assert second.operator_count < first.operator_count
         # and both tasks keep receiving results
         scenario.run_traffic(150)
-        assert len(second.results) == len(first.results)
-        assert len(first.results) > 0
+        assert len(second.results()) == len(first.results())
+        assert len(first.results()) > 0
 
     def test_overlapping_subscription_reuses_sources_only(self):
         scenario = MeteoScenario(seed=17)
@@ -159,10 +162,11 @@ class TestEdosMonitoring:
             by publish as channel "edosFailures";
             """,
             sub_id="edos-failures",
+            max_results=4096,
         )
         system.run()
         edos.run(400)
         system.run()
         reference = edos.reference_statistics()
-        assert len(task.results) == reference["failed_downloads"]
-        assert task.results, "with a 30% failure rate there should be failures"
+        assert len(task.results()) == reference["failed_downloads"]
+        assert task.results(), "with a 30% failure rate there should be failures"
