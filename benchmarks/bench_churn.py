@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Benchmark recovery latency under peer churn.
+
+For several source counts, deploys one chaos-feed subscription spanning all
+sources, then repeatedly fails the peer currently hosting the plan's union
+operator and revives it again, measuring:
+
+* ``failover_ms`` -- wall-clock cost of ``fail_peer`` (ledger scan, orphan
+  detection, teardown, replan, redeployment on survivors);
+* ``restore_ms`` -- wall-clock cost of ``revive_peer`` (full-coverage
+  redeployment);
+* ``delivery_gap_ticks`` -- ticks with no delivery from surviving sources
+  after a failure (0 means monitoring never skipped a beat).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_churn.py            # full run
+    PYTHONPATH=src python benchmarks/bench_churn.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_churn.py --out /tmp/churn.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.algebra.plan import UNION  # noqa: E402
+from repro.monitor import P2PMSystem  # noqa: E402
+from repro.workloads import ChaosFeedWorkload  # noqa: E402
+from repro.workloads.chaos_feed import CHAOS_FUNCTION  # noqa: E402
+
+
+def _union_host(handle) -> str:
+    unions = handle.plan.find_all(UNION)
+    assert unions and unions[0].placement
+    return str(unions[0].placement)
+
+
+def bench_churn(n_sources: int, churn_events: int, seed: int = 0) -> dict:
+    """One measurement: repeated fail/revive of the union-hosting peer."""
+    system = P2PMSystem(seed=seed)
+    sources = [f"s{i}" for i in range(n_sources)]
+    for source in sources:
+        system.add_peer(source)
+    monitor = system.add_peer("monitor")
+    peers = " ".join(f"<p>{source}</p>" for source in sources)
+    handle = monitor.subscribe(
+        f'for $x in {CHAOS_FUNCTION}({peers}) where $x.kind = "chaos" '
+        "return <seen><src>{$x.source}</src><n>{$x.n}</n></seen>",
+        sub_id="churn-bench",
+    )
+    system.run()
+
+    received: list[tuple[str, int]] = []
+    handle.on_result(
+        lambda item: received.append((item.find("src").text, int(item.find("n").text)))
+    )
+    workload = ChaosFeedWorkload(sources)
+
+    failover_ms: list[float] = []
+    restore_ms: list[float] = []
+    delivery_gaps: list[int] = []
+    tick = 0
+
+    def run_ticks(count: int) -> None:
+        nonlocal tick
+        for _ in range(count):
+            workload.tick(system, tick)
+            system.run()
+            tick += 1
+
+    run_ticks(3)  # warm-up traffic
+    for _ in range(churn_events):
+        victim = _union_host(handle)
+        start = time.perf_counter()
+        system.fail_peer(victim)
+        failover_ms.append((time.perf_counter() - start) * 1000.0)
+        system.run()
+
+        # how many ticks pass before surviving sources deliver again?
+        fail_tick = tick
+        gap = 0
+        for probe in range(5):
+            run_ticks(1)
+            if any(n >= fail_tick for _, n in received):
+                gap = probe
+                break
+        else:
+            gap = 5
+        delivery_gaps.append(gap)
+
+        start = time.perf_counter()
+        system.revive_peer(victim)
+        restore_ms.append((time.perf_counter() - start) * 1000.0)
+        system.run()
+        run_ticks(2)
+
+    return {
+        "experiment": "churn",
+        "sources": n_sources,
+        "churn_events": churn_events,
+        "alerts_delivered": len(received),
+        "duplicates": len(received) - len(set(received)),
+        "failover_ms_median": round(statistics.median(failover_ms), 3),
+        "failover_ms_max": round(max(failover_ms), 3),
+        "restore_ms_median": round(statistics.median(restore_ms), 3),
+        "restore_ms_max": round(max(restore_ms), 3),
+        "delivery_gap_ticks_max": max(delivery_gaps),
+        "recoveries": system.recovery.recoveries,
+        "final_status": handle.status,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    if quick:
+        source_counts = [3]
+        churn_events = 2
+    else:
+        source_counts = [3, 8, 16]
+        churn_events = 10
+    rows = [bench_churn(n, churn_events) for n in source_counts]
+    return {"suite": "churn", "quick": quick, "results": rows}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument("--out", default=None, help="optional path of a JSON summary")
+    args = parser.parse_args(argv)
+    summary = run(quick=args.quick)
+    summary["generated_unix"] = round(time.time(), 1)
+    for row in summary["results"]:
+        print(
+            f"churn sources={row['sources']:>3}  "
+            f"failover {row['failover_ms_median']:>7.2f} ms  "
+            f"restore {row['restore_ms_median']:>7.2f} ms  "
+            f"gap {row['delivery_gap_ticks_max']} ticks  "
+            f"dups {row['duplicates']}"
+        )
+        if row["duplicates"] or row["final_status"] != "deployed":
+            print(f"  UNEXPECTED: {row}")
+            return 1
+    if args.out:
+        Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,13 +11,22 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # smoke run
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --out /tmp/bench.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --output /tmp/bench.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick \
+        --compare BENCH_filter.json --tolerance 0.25              # CI gate
 
 The quick mode is wired into the test suite (see
 ``tests/test_filter_differential.py``) so a broken benchmark harness fails
 CI rather than being discovered at release time.  A differential check
 against the naive oracle runs in both modes; the script refuses to write a
 summary whose numbers come from a filter that disagrees with the oracle.
+
+``--compare`` is the CI regression gate: rows of the fresh run are matched
+against the baseline summary by experiment and subscription/query count,
+and the script exits non-zero when any matched row's ``items_per_sec``
+regressed by more than ``--tolerance`` (a fraction; 0.25 = 25%).  Quick
+mode measures the same 100/1000 sizes the committed baseline records, so
+the gate works on the smoke run too.
 """
 
 from __future__ import annotations
@@ -178,9 +187,12 @@ def differential_check(n_subscriptions: int, n_items: int) -> int:
 
 def run(quick: bool = False) -> dict:
     if quick:
-        subscription_counts = [50, 200]
-        query_counts = [50, 200]
-        n_items, rounds = 30, 1
+        # the two smallest sizes of the full run, so --compare can match
+        # quick-mode rows against the committed full-run baseline; several
+        # best-of rounds keep the gate's rate measurements out of noise range
+        subscription_counts = [100, 1000]
+        query_counts = [100, 1000]
+        n_items, rounds = 60, 5
         naive_subs, naive_items = 200, 10
         diff_subs, diff_items = 150, 25
     else:
@@ -226,20 +238,74 @@ def run(quick: bool = False) -> dict:
     return summary
 
 
+def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Match rows by experiment and size; return regression descriptions.
+
+    A row regresses when its ``items_per_sec`` falls more than ``tolerance``
+    (a fraction) below the baseline's matching row.  Rows present in only
+    one summary are ignored; having *no* matching row at all is reported as
+    an error so a misconfigured gate cannot silently pass.
+    """
+    problems: list[str] = []
+    matched = 0
+    for list_name, size_key in (("filter_scaling", "subscriptions"), ("yfilter", "queries")):
+        baseline_rows = {
+            row[size_key]: row for row in baseline.get(list_name, [])
+        }
+        for row in summary.get(list_name, []):
+            reference = baseline_rows.get(row[size_key])
+            if reference is None:
+                continue
+            matched += 1
+            floor = reference["items_per_sec"] * (1.0 - tolerance)
+            if row["items_per_sec"] < floor:
+                problems.append(
+                    f"{list_name}[{size_key}={row[size_key]}]: "
+                    f"{row['items_per_sec']:.1f} items/s is below "
+                    f"{floor:.1f} (baseline {reference['items_per_sec']:.1f} "
+                    f"- {tolerance:.0%} tolerance)"
+                )
+    if matched == 0:
+        problems.append(
+            "no benchmark rows matched the baseline: the regression gate "
+            "compared nothing (size mismatch between run and baseline?)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     parser.add_argument(
+        "--output",
         "--out",
+        dest="output",
         default=str(REPO_ROOT / "BENCH_filter.json"),
         help="path of the JSON summary (default: repo-root BENCH_filter.json)",
     )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline summary to gate against (e.g. BENCH_filter.json); "
+        "exits 1 on any items_per_sec regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression vs the baseline (default 0.25)",
+    )
     args = parser.parse_args(argv)
+    # read the baseline before any output is written: --output may point at
+    # the baseline file itself, and a gate comparing a run to its own freshly
+    # written summary could never fail
+    baseline = json.loads(Path(args.compare).read_text()) if args.compare else None
     summary = run(quick=args.quick)
     summary["generated_unix"] = round(time.time(), 1)
-    out_path = Path(args.out)
+    out_path = Path(args.output)
     out_path.write_text(json.dumps(summary, indent=2) + "\n")
     for row in summary["filter_scaling"]:
         print(
@@ -254,6 +320,13 @@ def main(argv: list[str] | None = None) -> int:
             f"dfa-cache {row['dfa_cache_hit_rate']:.0%}"
         )
     print(f"wrote {out_path}")
+    if baseline is not None:
+        problems = compare_to_baseline(summary, baseline, args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print(f"regression gate: within {args.tolerance:.0%} of {args.compare}")
     return 0
 
 

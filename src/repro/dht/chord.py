@@ -81,6 +81,27 @@ class ChordRing:
 
     def leave(self, node_id: str) -> None:
         """Remove a node; its keys move to its successor."""
+        node = self._remove(node_id)
+        self.membership_log.append(("leave", node_id))
+        if self._sorted:
+            successor = self._successor_node(node.position)
+            successor.storage.update(node.storage)
+
+    def fail(self, node_id: str) -> list[str]:
+        """Abrupt departure: the node crashes and its keys are *lost*.
+
+        Unlike the graceful :meth:`leave`, no key transfer happens -- the
+        keys the node stored disappear with it, exactly the situation the
+        KadoP layer's re-replication (:meth:`repro.dht.kadop.KadopIndex.fail_peer`)
+        must repair.  The ring itself re-stabilises: successor lists and
+        finger tables are rebuilt lazily for the surviving nodes.  Returns
+        the sorted list of lost keys so the caller can restore them.
+        """
+        node = self._remove(node_id)
+        self.membership_log.append(("fail", node_id))
+        return sorted(node.storage)
+
+    def _remove(self, node_id: str) -> ChordNode:
         node = self._nodes.pop(node_id, None)
         if node is None:
             raise KeyError(f"node {node_id!r} is not in the ring")
@@ -88,10 +109,7 @@ class ChordRing:
         del self._sorted[index]
         del self._positions[index]
         self._version += 1
-        self.membership_log.append(("leave", node_id))
-        if self._sorted:
-            successor = self._successor_node(node.position)
-            successor.storage.update(node.storage)
+        return node
 
     @property
     def node_ids(self) -> list[str]:

@@ -48,6 +48,11 @@ class KadopIndex:
             self.ring.join("kadop-seed")
         self._doc_count = 0
         self._membership_listeners: list[MembershipListener] = []
+        #: replica store of every published document, keyed by doc id.  KadoP
+        #: replicates index entries across peers; we model that as a full
+        #: mirror from which keys lost to an abrupt node failure are restored.
+        self._doc_replicas: dict[str, Element] = {}
+        self.keys_restored = 0
         # ensure the catalogue of all doc ids exists
         if self.ring.get(_DOCS_KEY)[0] is None:
             self.ring.put(_DOCS_KEY, set())
@@ -71,6 +76,48 @@ class KadopIndex:
             self.ring.leave(peer_id)
         self._notify(MembershipEvent("leave", peer_id))
 
+    def fail_peer(self, peer_id: str) -> int:
+        """A peer crashes: its ring node vanishes and its keys are lost.
+
+        The surviving ring re-stabilises, and the keys the dead node stored
+        are re-replicated from the document mirror onto their new successor
+        nodes (KadoP's replication keeps the index available through
+        churn).  A ``leave`` membership event is emitted, so dynamic
+        alerters stop monitoring the peer.  Returns the number of restored
+        keys.
+        """
+        restored = 0
+        if peer_id in self.ring and len(self.ring) > 1:
+            lost = self.ring.fail(peer_id)
+            restored = self._restore_keys(lost)
+            self.keys_restored += restored
+        self._notify(MembershipEvent("leave", peer_id))
+        return restored
+
+    def _restore_keys(self, lost: list[str]) -> int:
+        """Re-insert lost index keys from the replicated document store."""
+        restored = 0
+        for key in lost:
+            if key == _DOCS_KEY:
+                self.ring.put(_DOCS_KEY, set(self._doc_replicas))
+                restored += 1
+            elif key.startswith("doc:"):
+                doc_id = key[len("doc:"):]
+                document = self._doc_replicas.get(doc_id)
+                if document is not None:
+                    self.ring.put(key, document.copy())
+                    restored += 1
+            elif key.startswith("term:"):
+                term = key[len("term:"):]
+                postings = {
+                    doc_id
+                    for doc_id, document in self._doc_replicas.items()
+                    if term in self._terms_of_document(document)
+                }
+                self.ring.put(key, postings)
+                restored += 1
+        return restored
+
     def subscribe_membership(self, listener: MembershipListener) -> None:
         """Register a callback invoked on every join/leave (the DHT event stream)."""
         self._membership_listeners.append(listener)
@@ -87,6 +134,7 @@ class KadopIndex:
             self._doc_count += 1
             doc_id = f"doc{self._doc_count}"
         self.ring.put(f"doc:{doc_id}", document.copy())
+        self._doc_replicas[doc_id] = document.copy()
         catalogue, _ = self.ring.get(_DOCS_KEY)
         assert isinstance(catalogue, set)
         catalogue.add(doc_id)
@@ -108,6 +156,7 @@ class KadopIndex:
         if isinstance(catalogue, set):
             catalogue.discard(doc_id)
         self.ring.remove(f"doc:{doc_id}")
+        self._doc_replicas.pop(doc_id, None)
         return True
 
     def document(self, doc_id: str) -> Element | None:

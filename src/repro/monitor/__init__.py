@@ -17,6 +17,7 @@ from repro.monitor.subscription import (
     DEPLOYED,
     PAUSED,
     PENDING,
+    RECOVERING,
     Subscription,
     SubscriptionDatabase,
     SubscriptionStateError,
@@ -25,6 +26,7 @@ from repro.monitor.stream_db import StreamDefinitionDatabase, StreamDescription
 from repro.monitor.lifecycle import DeliveryValve, ResourceLedger, ResultBuffer
 from repro.monitor.optimizer import optimize_plan
 from repro.monitor.placement import place_plan
+from repro.monitor.recovery import RecoveryEvent, RecoveryManager, prune_dead_sources
 from repro.monitor.reuse import ReuseEngine, ReuseReport
 from repro.monitor.deployment import DeployedTask, Deployer
 from repro.monitor.handle import SubscriptionHandle
@@ -38,7 +40,11 @@ __all__ = [
     "PENDING",
     "DEPLOYED",
     "PAUSED",
+    "RECOVERING",
     "CANCELLED",
+    "RecoveryEvent",
+    "RecoveryManager",
+    "prune_dead_sources",
     "StreamDefinitionDatabase",
     "StreamDescription",
     "DeliveryValve",

@@ -178,6 +178,8 @@ class Deployer:
     def __init__(self, system: "P2PMSystem", publish_replicas: bool = True) -> None:
         self.system = system
         self.publish_replicas = publish_replicas
+        self._counter = 0
+        self._epoch = 0
 
     # -- public API -------------------------------------------------------------------
 
@@ -187,7 +189,14 @@ class Deployer:
         sub_id: str,
         manager_peer: str,
         max_results: int | None = None,
+        epoch: int = 0,
     ) -> DeployedTask:
+        """Instantiate ``plan``; ``epoch`` > 0 marks a recovery redeployment.
+
+        Each epoch gets its own stream-id namespace so that control messages
+        of a dead incarnation (a subscribe or EOS still in flight when a
+        peer failed) can never be mistaken for traffic of its replacement.
+        """
         unplaced = plan.unplaced_nodes()
         if unplaced:
             raise ValueError(
@@ -195,6 +204,7 @@ class Deployer:
             )
         task = DeployedTask(sub_id=sub_id, plan=plan, manager_peer=manager_peer)
         self._counter = 0
+        self._epoch = epoch
         holder = f"sub:{sub_id}"
         if plan.kind == PUBLISH:
             handle = self._deploy_node(plan.children[0], task)
@@ -215,6 +225,8 @@ class Deployer:
 
     def _next_stream_id(self, sub_id: str) -> str:
         self._counter += 1
+        if self._epoch:
+            return f"{sub_id}.e{self._epoch}.s{self._counter}"
         return f"{sub_id}.s{self._counter}"
 
     def _retain_stream(self, key: tuple[str, str], holder: str) -> None:

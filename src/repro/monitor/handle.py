@@ -45,15 +45,25 @@ class SubscriptionHandle:
 
     @property
     def status(self) -> str:
-        """Current lifecycle state: pending, deployed, paused or cancelled."""
+        """Current lifecycle state: pending, deployed, paused, recovering or
+        cancelled.  ``recovering`` means a peer the subscription spans has
+        failed and the recovery layer is redeploying (or waiting for a
+        pending source peer to revive)."""
         return self._record.status
 
     @property
     def is_active(self) -> bool:
-        """True while the subscription is deployed or paused (not cancelled)."""
-        from repro.monitor.subscription import DEPLOYED, PAUSED
+        """True while the subscription is deployed, paused or recovering."""
+        from repro.monitor.subscription import DEPLOYED, PAUSED, RECOVERING
 
-        return self._record.status in (DEPLOYED, PAUSED)
+        return self._record.status in (DEPLOYED, PAUSED, RECOVERING)
+
+    @property
+    def is_recovering(self) -> bool:
+        """True while a peer failure is being healed for this subscription."""
+        from repro.monitor.subscription import RECOVERING
+
+        return self._record.status == RECOVERING
 
     @property
     def task(self) -> "DeployedTask | None":
@@ -133,6 +143,23 @@ class SubscriptionHandle:
                 callback(item)
 
         return task.delivery.subscribe(deliver)
+
+    def on_recovery(self, callback) -> Callable[[], None]:
+        """Invoke ``callback(event)`` whenever this subscription is recovered.
+
+        ``event`` is a :class:`~repro.monitor.recovery.RecoveryEvent`
+        describing the trigger (peer failure or revival) and the outcome
+        (``redeployed``, ``degraded``, ``waiting``).  Returns an
+        unsubscriber.  ``on_result`` callbacks survive recovery: they are
+        handed over to the replacement task's delivery stream.
+        """
+        sub_id = self.sub_id
+
+        def filtered(event) -> None:
+            if event.sub_id == sub_id:
+                callback(event)
+
+        return self._manager.peer.system.recovery.subscribe(filtered)
 
     # -- lifecycle -------------------------------------------------------------
 

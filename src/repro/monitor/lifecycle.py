@@ -231,6 +231,10 @@ class ResourceLedger:
         entry = self._entries.get(key)
         return set(entry.holders) if entry is not None else set()
 
+    def keys(self) -> list[object]:
+        """All currently registered resource keys (recovery scans these)."""
+        return list(self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 

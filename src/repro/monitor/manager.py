@@ -20,11 +20,13 @@ from repro.monitor.deployment import Deployer
 from repro.monitor.handle import SubscriptionHandle
 from repro.monitor.optimizer import optimize_plan
 from repro.monitor.placement import place_plan
+from repro.monitor.recovery import prune_dead_sources
 from repro.monitor.reuse import ReuseEngine
 from repro.monitor.subscription import (
     CANCELLED,
     DEPLOYED,
     PAUSED,
+    RECOVERING,
     Subscription,
     SubscriptionDatabase,
     SubscriptionStateError,
@@ -88,7 +90,14 @@ class SubscriptionManager:
             )
             plan, reuse_report = engine.apply(plan)
 
-        place_plan(plan, manager_peer=self.peer.peer_id, load=self.peer.system.placement_load)
+        # a subscription submitted while peers are down must not place
+        # movable operators on them (recovery redeploys the same way)
+        place_plan(
+            plan,
+            manager_peer=self.peer.peer_id,
+            load=self.peer.system.placement_load,
+            avoid=self.peer.system.down_peers(),
+        )
 
         record = Subscription(
             sub_id=sub_id,
@@ -119,6 +128,95 @@ class SubscriptionManager:
     def handle(self, sub_id: str) -> SubscriptionHandle:
         """A (new) handle on an already-registered subscription."""
         return SubscriptionHandle(self, self.database.get(sub_id))
+
+    # -- recovery ---------------------------------------------------------------
+
+    def redeploy(
+        self, sub_id: str, down: frozenset[str]
+    ) -> tuple[str, tuple[str, ...]]:
+        """Tear the subscription's task down and redeploy it around ``down`` peers.
+
+        Called by the :class:`~repro.monitor.recovery.RecoveryManager` while
+        the subscription is ``RECOVERING``.  The plan is recompiled from the
+        stored AST (reuse is deliberately skipped: advertisements may be
+        mid-retraction during a failure), union branches whose source peer
+        is down are pruned, and placement avoids every down peer.  Result
+        buffers and ``on_result`` callbacks are handed over to the new
+        task's delivery stream, so existing handles keep delivering.
+
+        Returns ``(outcome, pending_sources)`` where outcome is
+        ``"deployed"`` (full plan), ``"degraded"`` (some sources pruned) or
+        ``"waiting"`` (nothing deployable until a pending source revives).
+        """
+        record = self.database.get(sub_id)
+        old_task = record.task
+        # the delivery audience may already be parked from a prior round that
+        # ended in "waiting" (nothing was deployable at the time)
+        parked = list(record.notes.pop("recovery_parked", []))
+        parked_from = list(record.notes.pop("recovery_parked_from", []))
+        buffer = record.notes.pop("recovery_buffer", None)
+        if old_task is not None:
+            if old_task.publisher is not None:
+                # the replacement deployment builds its own publisher; the old
+                # one must not ride along in the parked audience or results
+                # would publish twice after recovery
+                old_task.publisher.disconnect()
+            if old_task.delivery is not None:
+                # hand the delivery audience over before teardown closes the
+                # old stream, so nobody observes a spurious EOS
+                parked.extend(old_task.delivery.detach_subscribers())
+                parked_from.append(old_task.delivery)
+            if old_task.results_buffer is not None:
+                buffer = old_task.results_buffer
+            try:
+                old_task.teardown()
+            except Exception:  # noqa: BLE001 - teardown around a dead peer is best-effort
+                pass
+            record.task = None
+        try:
+            plan = compile_subscription(record.ast, sub_id)
+            plan = optimize_plan(plan)
+            pruned, pending = prune_dead_sources(plan, down)
+            if pruned is None:
+                record.notes["recovery_parked"] = parked
+                record.notes["recovery_parked_from"] = parked_from
+                record.notes["recovery_buffer"] = buffer
+                return "waiting", tuple(sorted(pending))
+            place_plan(
+                pruned,
+                manager_peer=self.peer.peer_id,
+                load=self.peer.system.placement_load,
+                avoid=down,
+            )
+            deployer = Deployer(
+                self.peer.system, publish_replicas=self.peer.system.publish_replicas
+            )
+            # each redeployment gets a fresh stream-id epoch, so stale control
+            # messages of the dead incarnation cannot reach its replacement
+            epoch = int(record.notes.get("recovery_epoch", 0)) + 1
+            record.notes["recovery_epoch"] = epoch
+            task = deployer.deploy(
+                pruned, sub_id, manager_peer=self.peer.peer_id, epoch=epoch
+            )
+        except Exception:
+            # park the delivery audience for the next recovery attempt, or the
+            # handle's callbacks and buffer would be lost with the failed task
+            record.notes["recovery_parked"] = parked
+            record.notes["recovery_parked_from"] = parked_from
+            record.notes["recovery_buffer"] = buffer
+            raise
+        record.plan = pruned
+        record.task = task
+        if buffer is not None:
+            task.results_buffer = buffer
+        if parked and task.delivery is not None:
+            task.delivery.attach_subscribers(parked)
+        if task.delivery is not None:
+            # unsubscribers issued against earlier delivery streams follow
+            # the chain to wherever their callback lives now
+            for origin in parked_from:
+                task.delivery.attach_subscribers((), moved_from=origin)
+        return ("degraded" if pending else "deployed"), tuple(sorted(pending))
 
     # -- lifecycle verbs --------------------------------------------------------
 
@@ -153,6 +251,11 @@ class SubscriptionManager:
         record = self.database.get(sub_id)
         if record.status == DEPLOYED:
             return
+        if record.status == RECOVERING:
+            raise SubscriptionStateError(
+                f"subscription {sub_id!r} is recovering from a peer failure; "
+                "delivery resumes automatically once it is redeployed"
+            )
         self.database.mark(sub_id, DEPLOYED)
         if record.task is not None and record.task.valve is not None:
             record.task.valve.resume()
@@ -160,11 +263,13 @@ class SubscriptionManager:
     # -- introspection ----------------------------------------------------------
 
     def active_subscriptions(self) -> list[str]:
-        """Ids of subscriptions currently deployed or paused."""
+        """Ids of subscriptions currently deployed, paused or recovering."""
         return sorted(
             record.sub_id
             for record in (
-                self.database.with_status(DEPLOYED) + self.database.with_status(PAUSED)
+                self.database.with_status(DEPLOYED)
+                + self.database.with_status(PAUSED)
+                + self.database.with_status(RECOVERING)
             )
         )
 

@@ -16,7 +16,9 @@ from repro.dht.chord import ChordRing
 from repro.dht.kadop import KadopIndex
 from repro.monitor.lifecycle import ResourceLedger
 from repro.monitor.manager import SubscriptionManager
+from repro.monitor.recovery import RecoveryManager
 from repro.monitor.stream_db import StreamDefinitionDatabase
+from repro.net.faults import FaultModel
 from repro.net.peer import Peer
 from repro.net.simnet import SimNetwork
 from repro.streams.stream import Stream
@@ -28,8 +30,13 @@ AlerterHook = Callable[[Alerter], None]
 class P2PMSystem:
     """A whole monitoring deployment: network + peers + Stream Definition DB."""
 
-    def __init__(self, seed: int = 0, publish_replicas: bool = True) -> None:
-        self.network = SimNetwork(seed=seed)
+    def __init__(
+        self,
+        seed: int = 0,
+        publish_replicas: bool = True,
+        fault_model: FaultModel | None = None,
+    ) -> None:
+        self.network = SimNetwork(seed=seed, fault_model=fault_model)
         self.kadop = KadopIndex(ChordRing())
         self.stream_db = StreamDefinitionDatabase(self.kadop)
         #: refcounted registry of deployed resources; cancellation releases
@@ -43,6 +50,9 @@ class P2PMSystem:
         #: operators assigned per peer so far; shared across subscription
         #: managers so that placement balances the load globally
         self.placement_load: dict[str, int] = {}
+        #: detects orphaned resources after a peer failure and redeploys the
+        #: affected subscriptions on surviving peers
+        self.recovery = RecoveryManager(self)
         self._peers: dict[str, P2PMPeer] = {}
 
     # -- peers ------------------------------------------------------------------
@@ -77,6 +87,49 @@ class P2PMSystem:
     def run(self, max_steps: int | None = None) -> int:
         """Deliver pending network messages (returns how many were delivered)."""
         return self.network.run(max_steps)
+
+    # -- peer lifecycle (churn) --------------------------------------------------
+
+    def fail_peer(self, peer_id: str) -> bool:
+        """Simulate an abrupt peer failure, propagating it through every layer.
+
+        The network stops routing the peer's messages, the DHT re-stabilises
+        (its ring node fails abruptly; lost index keys are re-replicated
+        onto the surviving nodes) and the recovery manager redeploys every
+        subscription spanning the dead peer on surviving peers.  Returns
+        False when the peer was already down.
+        """
+        if peer_id not in self._peers:
+            raise KeyError(f"unknown P2PM peer {peer_id!r}")
+        if not self.network.fail_peer(peer_id):
+            return False
+        self.kadop.fail_peer(peer_id)
+        self.recovery.handle_peer_failure(peer_id)
+        return True
+
+    def revive_peer(self, peer_id: str) -> bool:
+        """Bring a failed peer back and restore coverage that waited on it.
+
+        The peer rejoins the network and the DHT (emitting a ``join``
+        membership event), and the recovery manager redeploys subscriptions
+        whose pending sources included it.  Returns False when the peer was
+        not down.
+        """
+        if peer_id not in self._peers:
+            raise KeyError(f"unknown P2PM peer {peer_id!r}")
+        if not self.network.revive_peer(peer_id):
+            return False
+        self.kadop.join_peer(peer_id)
+        self.recovery.handle_peer_revival(peer_id)
+        return True
+
+    def is_alive(self, peer_id: str) -> bool:
+        """True when the peer exists and is not currently failed."""
+        return peer_id in self._peers and self.network.is_alive(peer_id)
+
+    def down_peers(self) -> frozenset[str]:
+        """The currently failed peers."""
+        return self.network.down_peers()
 
 
 class P2PMPeer:

@@ -1,0 +1,309 @@
+"""Self-healing deployments: detect orphaned resources, redeploy around failures.
+
+The paper's P2P Monitor lives in a volatile network -- "peers join, leave
+and fail while subscriptions stay alive".  This module is the monitor-side
+half of that story:
+
+* when a peer fails, the :class:`RecoveryManager` walks the system's
+  :class:`~repro.monitor.lifecycle.ResourceLedger` to find the *orphaned*
+  resources (streams, operators and channel proxies hosted by or wired
+  through the dead peer) and, from their holder chains, the subscriptions
+  that depend on them;
+* each affected subscription is marked ``RECOVERING`` and its plan is
+  rebuilt and redeployed on surviving peers.  Union branches whose alerter
+  source died are *pruned* (the inCOM-style semantics: a departed peer
+  stops being monitored) and remembered as *pending sources*;
+* when a pending source revives, the subscription is redeployed once more
+  to restore full coverage.
+
+Delivery continuity: result buffers and ``on_result`` callbacks survive a
+redeployment -- they are handed over from the dying task's delivery stream
+to the replacement's, so a handle obtained before a failure keeps working
+after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.algebra.plan import ALERTER, EXISTING, UNION, PlanNode
+from repro.monitor.subscription import (
+    CANCELLED,
+    DEPLOYED,
+    PAUSED,
+    RECOVERING,
+    Subscription,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.manager import SubscriptionManager
+    from repro.monitor.p2pm_peer import P2PMSystem
+
+
+# --------------------------------------------------------------------------- #
+# Plan surgery
+# --------------------------------------------------------------------------- #
+
+
+def prune_dead_sources(
+    plan: PlanNode, down: frozenset[str]
+) -> tuple[PlanNode | None, set[str]]:
+    """Remove plan branches rooted at sources hosted on failed peers.
+
+    A union keeps its surviving branches (monitoring degrades gracefully,
+    like the dynamic-membership alerter dropping departed peers); any other
+    node with a dead, non-substitutable source makes its whole subtree
+    undeployable.  Returns the pruned plan (``None`` when nothing can run)
+    plus the set of failed peers whose revival would restore coverage.
+    """
+    pending: set[str] = set()
+    pruned = _prune(plan, down, pending)
+    return pruned, pending
+
+
+def _prune(node: PlanNode, down: frozenset[str], pending: set[str]) -> PlanNode | None:
+    if node.kind == ALERTER and not node.params.get("membership_var"):
+        peer = node.params.get("peer")
+        if peer in down:
+            pending.add(str(peer))
+            return None
+        return node
+    if node.kind == EXISTING:
+        provider = node.params.get("provider_peer") or node.params.get("peer")
+        if provider in down:
+            pending.add(str(provider))
+            return None
+        return node
+    survivors = [_prune(child, down, pending) for child in node.children]
+    if node.kind == UNION:
+        node.children = [child for child in survivors if child is not None]
+        return node if node.children else None
+    if any(child is None for child in survivors):
+        return None
+    node.children = [child for child in survivors if child is not None]
+    return node
+
+
+# --------------------------------------------------------------------------- #
+# Recovery events
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery decision, delivered to ``on_recovery`` listeners."""
+
+    sub_id: str
+    manager_peer: str
+    #: what prompted it: a peer ``failure`` or a pending-source ``revival``
+    trigger: str
+    #: the peer that failed / revived
+    peer_id: str
+    #: ``recovering`` (redeployment starting), ``deployed`` (full coverage),
+    #: ``degraded`` (some sources pruned), ``waiting`` (nothing deployable
+    #: until a source revives), or ``abandoned`` (the subscription's own
+    #: manager peer failed)
+    outcome: str
+    #: failed source peers whose revival will trigger another redeployment
+    pending_sources: tuple[str, ...] = ()
+
+
+RecoveryListener = Callable[[RecoveryEvent], None]
+
+
+# --------------------------------------------------------------------------- #
+# The recovery manager
+# --------------------------------------------------------------------------- #
+
+
+class RecoveryManager:
+    """System-wide failure detector and redeployment driver."""
+
+    def __init__(self, system: "P2PMSystem") -> None:
+        self.system = system
+        self.events: list[RecoveryEvent] = []
+        self._listeners: list[RecoveryListener] = []
+        #: sub_id -> failed source peers whose revival restores full coverage
+        self.pending_sources: dict[str, set[str]] = {}
+        self.recoveries = 0
+
+    def subscribe(self, listener: RecoveryListener) -> Callable[[], None]:
+        """Register a callback invoked on every recovery event; returns an
+        unsubscriber."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    # -- failure analysis -------------------------------------------------------
+
+    def orphaned_resources(self, peer_id: str) -> list[object]:
+        """Ledger entries stranded by ``peer_id``'s failure.
+
+        Streams are keyed ``(peer, stream_id)`` and channel subscriptions
+        ``("proxy", consumer, producer, stream_id)``; an entry is orphaned
+        when the failed peer hosts the resource or carries its transport.
+        """
+        orphans: list[object] = []
+        for key in self.system.resources.keys():
+            if not isinstance(key, tuple):
+                continue
+            if len(key) == 2 and key[0] == peer_id:
+                orphans.append(key)
+            elif len(key) == 4 and key[0] == "proxy" and peer_id in (key[1], key[2]):
+                orphans.append(key)
+        return orphans
+
+    def affected_subscriptions(self, peer_id: str) -> list[str]:
+        """Subscriptions holding (directly or transitively) orphaned resources.
+
+        Walks holder chains upward through the ResourceLedger: a stream's
+        holders are downstream streams, channel subscriptions or
+        subscription terminals (``sub:<id>``); following them from every
+        orphaned key reaches exactly the subscriptions that span the failed
+        peer.
+        """
+        ledger = self.system.resources
+        frontier: list[object] = self.orphaned_resources(peer_id)
+        visited: set[object] = set(frontier)
+        subscriptions: set[str] = set()
+        while frontier:
+            key = frontier.pop()
+            for holder in ledger.holders(key):
+                if holder.startswith("sub:"):
+                    subscriptions.add(holder[len("sub:"):])
+                    continue
+                next_key = _holder_to_key(holder)
+                if next_key is not None and next_key not in visited:
+                    visited.add(next_key)
+                    frontier.append(next_key)
+        return sorted(subscriptions)
+
+    # -- lifecycle hooks --------------------------------------------------------
+
+    def handle_peer_failure(self, peer_id: str) -> list[RecoveryEvent]:
+        """React to a peer failure: recover every subscription spanning it."""
+        produced: list[RecoveryEvent] = []
+        for sub_id in self.affected_subscriptions(peer_id):
+            located = self._locate(sub_id)
+            if located is None:
+                continue
+            manager, record = located
+            if record.status not in (DEPLOYED, PAUSED, RECOVERING):
+                continue
+            produced.append(self._recover(manager, record, "failure", peer_id))
+        return produced
+
+    def handle_peer_revival(self, peer_id: str) -> list[RecoveryEvent]:
+        """React to a revival: restore coverage for subscriptions waiting on it."""
+        produced: list[RecoveryEvent] = []
+        for sub_id in sorted(self.pending_sources):
+            if peer_id not in self.pending_sources.get(sub_id, set()):
+                continue
+            located = self._locate(sub_id)
+            if located is None or located[1].status == CANCELLED:
+                self.pending_sources.pop(sub_id, None)
+                continue
+            manager, record = located
+            produced.append(self._recover(manager, record, "revival", peer_id))
+        return produced
+
+    # -- internals --------------------------------------------------------------
+
+    def _locate(
+        self, sub_id: str
+    ) -> tuple["SubscriptionManager", Subscription] | None:
+        for peer_id in self.system.peer_ids:
+            manager = self.system.peer(peer_id).manager
+            if sub_id in manager.database:
+                return manager, manager.database.get(sub_id)
+        return None
+
+    def _recover(
+        self,
+        manager: "SubscriptionManager",
+        record: Subscription,
+        trigger: str,
+        peer_id: str,
+    ) -> RecoveryEvent:
+        sub_id = record.sub_id
+        manager_peer = manager.peer.peer_id
+        down = self.system.network.down_peers()
+        if manager_peer in down:
+            # the Subscription Manager itself is dead: nothing can be
+            # redriven from it (its control messages would be dropped).
+            # Remember it as a pending source, so its own revival re-drives
+            # the subscription.
+            pending = self.pending_sources.setdefault(sub_id, set())
+            pending.add(manager_peer)
+            return self._emit(
+                sub_id, manager_peer, trigger, peer_id, "abandoned", tuple(sorted(pending))
+            )
+        # a pause issued before (or during) recovery must survive any number
+        # of waiting rounds, so it is persisted on the record, not a local
+        was_paused = record.status == PAUSED or bool(
+            record.notes.get("recovery_was_paused", False)
+        )
+        if record.status in (DEPLOYED, PAUSED):
+            manager.database.mark(sub_id, RECOVERING)
+        # redeployment is synchronous, so announce the RECOVERING state first:
+        # listeners observing handle.status here see the transition
+        self._emit(sub_id, manager_peer, trigger, peer_id, "recovering")
+        try:
+            outcome, pending_peers = manager.redeploy(sub_id, down=down)
+        except Exception:  # noqa: BLE001 - recovery must never crash the system
+            outcome, pending_peers = "waiting", tuple(sorted(down))
+        if outcome == "waiting":
+            self.pending_sources[sub_id] = set(pending_peers)
+            record.notes["recovery_was_paused"] = was_paused
+        else:
+            if pending_peers:
+                self.pending_sources[sub_id] = set(pending_peers)
+            else:
+                self.pending_sources.pop(sub_id, None)
+            record.notes.pop("recovery_was_paused", None)
+            manager.database.mark(sub_id, DEPLOYED)
+            if was_paused:
+                manager.database.mark(sub_id, PAUSED)
+                if record.task is not None and record.task.valve is not None:
+                    record.task.valve.pause()
+            self.recoveries += 1
+        return self._emit(
+            sub_id, manager_peer, trigger, peer_id, outcome, tuple(pending_peers)
+        )
+
+    def _emit(
+        self,
+        sub_id: str,
+        manager_peer: str,
+        trigger: str,
+        peer_id: str,
+        outcome: str,
+        pending: tuple[str, ...] = (),
+    ) -> RecoveryEvent:
+        event = RecoveryEvent(sub_id, manager_peer, trigger, peer_id, outcome, pending)
+        self.events.append(event)
+        for listener in list(self._listeners):
+            listener(event)
+        return event
+
+
+def _holder_to_key(holder: str) -> object | None:
+    """Map a ledger holder string back to the ledger key it stands for."""
+    if holder.startswith("stream:"):
+        rest = holder[len("stream:"):]
+        if "@" in rest:
+            stream_id, peer_id = rest.rsplit("@", 1)
+            return (peer_id, stream_id)
+        return None
+    if holder.startswith("proxy:"):
+        parts = holder[len("proxy:"):].split(":", 2)
+        if len(parts) == 3:
+            consumer, producer, stream_id = parts
+            return ("proxy", consumer, producer, stream_id)
+        return None
+    return None

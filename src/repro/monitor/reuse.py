@@ -136,7 +136,12 @@ class ReuseEngine:
         candidates = [(peer_id, stream_id)] + self.stream_db.find_replicas(peer_id, stream_id)
         if len(candidates) == 1 or self.network is None or self.consumer_peer is None:
             return candidates[0]
-        reachable = [c for c in candidates if self.network.has_peer(c[0])]
+        # a provider that is registered but currently failed cannot serve the
+        # stream; prefer alive providers (fall back to mere registration so a
+        # fully dark candidate set still resolves deterministically)
+        reachable = [c for c in candidates if self.network.is_alive(c[0])]
+        if not reachable:
+            reachable = [c for c in candidates if self.network.has_peer(c[0])]
         if not reachable:
             return candidates[0]
         return min(

@@ -19,13 +19,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 PENDING = "pending"
 DEPLOYED = "deployed"
 PAUSED = "paused"
+RECOVERING = "recovering"
 CANCELLED = "cancelled"
 
-#: Legal status transitions driven by the lifecycle verbs.
+#: Legal status transitions driven by the lifecycle verbs.  ``RECOVERING``
+#: is entered when a peer the subscription spans fails; the recovery layer
+#: drives it back to ``DEPLOYED`` (or ``PAUSED``) once the plan has been
+#: redeployed on surviving peers.
 TRANSITIONS: dict[str, set[str]] = {
     PENDING: {DEPLOYED, CANCELLED},
-    DEPLOYED: {PAUSED, CANCELLED},
-    PAUSED: {DEPLOYED, CANCELLED},
+    DEPLOYED: {PAUSED, RECOVERING, CANCELLED},
+    PAUSED: {DEPLOYED, RECOVERING, CANCELLED},
+    RECOVERING: {DEPLOYED, PAUSED, CANCELLED},
     CANCELLED: set(),
 }
 

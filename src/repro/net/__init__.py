@@ -15,6 +15,7 @@ latency, per-peer load) are exactly reproducible on one machine:
 """
 
 from repro.net.errors import NetworkError, UnknownPeerError
+from repro.net.faults import PERFECT, FaultModel
 from repro.net.simnet import Message, SimNetwork
 from repro.net.peer import Peer
 from repro.net.channel import Channel, ChannelRegistry, RemoteChannelProxy
@@ -23,6 +24,8 @@ from repro.net.stats import LinkStats, NetworkStats
 __all__ = [
     "NetworkError",
     "UnknownPeerError",
+    "FaultModel",
+    "PERFECT",
     "Message",
     "SimNetwork",
     "Peer",

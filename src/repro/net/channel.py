@@ -41,6 +41,8 @@ class Channel:
     subscribers: set[str] = field(default_factory=set)
     #: detaches the registry's forwarder from the underlying stream
     unsubscribe: object | None = field(default=None, repr=False)
+    #: per-subscriber item sequence numbers (exactly-once deduplication)
+    next_seq: dict[str, int] = field(default_factory=dict, repr=False)
 
     @property
     def qualified_id(self) -> str:
@@ -48,12 +50,43 @@ class Channel:
 
 
 class RemoteChannelProxy(Stream):
-    """Local stream mirroring a channel published at another peer."""
+    """Local stream mirroring a channel published at another peer.
+
+    Item messages carry per-subscriber sequence numbers, and the proxy drops
+    any sequence number it has already delivered: a faulty network that
+    duplicates messages (see :class:`repro.net.faults.FaultModel`) still
+    yields exactly-once delivery into the local stream.
+    """
+
+    #: out-of-order window for duplicate detection; sequence numbers this far
+    #: behind the newest seen are compacted into a floor (jitter reorders
+    #: messages by bounded amounts, so the window bounds dedup memory)
+    SEQ_WINDOW = 4096
 
     def __init__(self, publisher_id: str, channel_id: str, local_peer_id: str) -> None:
         super().__init__(stream_id=f"#{channel_id}", peer_id=local_peer_id)
         self.publisher_id = publisher_id
         self.channel_id = channel_id
+        self.seen_seqs: set[int] = set()
+        self._seq_floor = -1  # every seq <= floor counts as already seen
+        self.duplicates_dropped = 0
+
+    def accept_seq(self, seq: int) -> bool:
+        """Record a sequence number; False when it was already delivered.
+
+        Memory stays bounded: once more than ``SEQ_WINDOW`` numbers are
+        retained, everything older than ``newest - SEQ_WINDOW`` collapses
+        into a floor (a pathologically late copy beyond the window would be
+        mistaken for a duplicate -- the safe direction for exactly-once).
+        """
+        if seq <= self._seq_floor or seq in self.seen_seqs:
+            return False
+        self.seen_seqs.add(seq)
+        if len(self.seen_seqs) > self.SEQ_WINDOW:
+            floor = max(self.seen_seqs) - self.SEQ_WINDOW
+            self.seen_seqs = {s for s in self.seen_seqs if s > floor}
+            self._seq_floor = max(self._seq_floor, floor)
+        return True
 
 
 class ChannelRegistry:
@@ -123,9 +156,15 @@ class ChannelRegistry:
             return
         assert isinstance(item, Element)
         for subscriber in sorted(channel.subscribers):
+            seq = channel.next_seq.get(subscriber, 0)
+            channel.next_seq[subscriber] = seq + 1
             payload = Element(
                 "channelItem",
-                {"channelId": channel.channel_id, "publisher": channel.peer_id},
+                {
+                    "channelId": channel.channel_id,
+                    "publisher": channel.peer_id,
+                    "seq": str(seq),
+                },
                 [item.copy()],
             )
             self._peer.send(subscriber, MSG_ITEM, payload)
@@ -180,7 +219,14 @@ class ChannelRegistry:
     def _on_subscribe(self, message) -> None:
         channel_id = message.payload.attrib["channelId"]
         subscriber = message.payload.attrib["subscriber"]
-        channel = self.published(channel_id)
+        channel = self._published.get(channel_id)
+        if channel is None:
+            # stale subscribe: the channel was withdrawn (peer churn, task
+            # teardown) while the request was in flight -- tell the
+            # subscriber the channel is gone instead of crashing
+            payload = Element("channelEos", {"channelId": channel_id})
+            self._peer.send(subscriber, MSG_EOS, payload)
+            return
         channel.subscribers.add(subscriber)
 
     def _on_unsubscribe(self, message) -> None:
@@ -195,6 +241,10 @@ class ChannelRegistry:
         proxy = self._proxies.get((publisher, channel_id))
         if proxy is None or proxy.closed:
             return  # late item for an unsubscribed/closed proxy: drop it
+        seq_text = message.payload.attrib.get("seq")
+        if seq_text is not None and not proxy.accept_seq(int(seq_text)):
+            proxy.duplicates_dropped += 1
+            return  # a faulty network duplicated this message
         proxy.emit(message.payload.children[0])
 
     def _on_eos(self, message) -> None:

@@ -1,0 +1,90 @@
+"""Fault models for the simulated network.
+
+The paper's setting is a volatile P2P network: peers join, leave and fail
+while subscriptions stay alive.  A :class:`FaultModel` describes how the
+network misbehaves *per message*; the :class:`~repro.net.simnet.SimNetwork`
+consults it at delivery-scheduling time, drawing from its runtime RNG so
+that a run is fully reproducible given the same seed.
+
+Fault dimensions:
+
+* **loss** -- a message is silently dropped in transit;
+* **duplication** -- a message is delivered more than once (the channel
+  layer deduplicates via per-subscriber sequence numbers, so operators
+  still see exactly-once);
+* **jitter** -- extra, uniformly drawn latency per delivered copy, which
+  reorders messages between different links;
+* **bandwidth** -- transmission delay proportional to payload size, so
+  bulky items arrive later than small control messages.
+
+Named network *partitions* are not part of the per-message model: they are
+link-level state managed by :meth:`SimNetwork.partition` /
+:meth:`SimNetwork.heal`.  Partitioned messages are held, not lost, and are
+rescheduled at heal time -- modelling retransmission by a reliable
+transport across a temporary split.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-message fault behaviour applied when a delivery is scheduled.
+
+    Parameters
+    ----------
+    loss_rate:
+        Probability that a message is dropped in transit.
+    duplication_rate:
+        Probability that a message is delivered twice instead of once.
+    jitter:
+        Maximum extra latency per delivered copy, drawn uniformly from
+        ``[0, jitter]``.  Non-zero jitter reorders messages.
+    bandwidth:
+        Simulated link bandwidth in payload-weight units per simulated
+        time unit; each copy is additionally delayed by ``size / bandwidth``.
+        ``None`` means infinite bandwidth.
+    """
+
+    loss_rate: float = 0.0
+    duplication_rate: float = 0.0
+    jitter: float = 0.0
+    bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        if not 0.0 <= self.duplication_rate <= 1.0:
+            raise ValueError("duplication_rate must be in [0, 1]")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        if self.bandwidth is not None and self.bandwidth <= 0.0:
+            raise ValueError("bandwidth must be positive")
+
+    def delivery_delays(self, size: int, rng: random.Random) -> list[float] | None:
+        """Plan the fate of one message of ``size`` payload-weight units.
+
+        Returns ``None`` when the message is lost, otherwise one extra-latency
+        value per delivered copy (one entry normally, two when duplicated).
+        Draws happen in a fixed order -- loss, duplication, then jitter per
+        copy -- so a fault schedule replayed with the same RNG state yields
+        the same plan.
+        """
+        if self.loss_rate and rng.random() < self.loss_rate:
+            return None
+        copies = 1
+        if self.duplication_rate and rng.random() < self.duplication_rate:
+            copies = 2
+        transmission = size / self.bandwidth if self.bandwidth else 0.0
+        delays: list[float] = []
+        for _ in range(copies):
+            extra = rng.random() * self.jitter if self.jitter else 0.0
+            delays.append(transmission + extra)
+        return delays
+
+
+#: A model with no faults at all: every message arrives exactly once.
+PERFECT = FaultModel()

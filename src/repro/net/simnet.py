@@ -1,4 +1,4 @@
-"""Deterministic event-queue network simulator.
+"""Deterministic event-queue network simulator with a fault-model kernel.
 
 Peers register with the network; sending a message schedules a delivery
 event at ``now + latency(source, destination)``.  Events are processed in
@@ -6,16 +6,39 @@ event at ``now + latency(source, destination)``.  Events are processed in
 inputs and seed.  Latency is derived from peer coordinates on a unit square
 (assigned from a seeded RNG unless given explicitly), which also gives the
 "networkwise close" notion used by replica selection in Section 5.
+
+On top of the perfect network, the kernel supports the volatile P2P setting
+the paper assumes:
+
+* a pluggable :class:`~repro.net.faults.FaultModel` (message loss,
+  duplication, reordering jitter, bandwidth-derived latency) consulted at
+  delivery-scheduling time;
+* named network **partitions** (:meth:`SimNetwork.partition` /
+  :meth:`SimNetwork.heal`): messages crossing a partition are *held* and
+  rescheduled when the partition heals;
+* first-class **peer lifecycle** events (:meth:`SimNetwork.fail_peer` /
+  :meth:`SimNetwork.revive_peer`) with listeners the DHT and the monitor
+  recovery layer subscribe to;
+* a structured, deterministic **event log** (enable with
+  ``record_events = True``) so chaos scenarios can assert byte-identical
+  traces for identical seeds.
+
+Two RNGs are kept deliberately separate: ``topology_rng`` draws peer
+coordinates at registration time, ``runtime_rng`` drives fault decisions.
+Registering a peer mid-run therefore never perturbs subsequent fault draws,
+which keeps churn tests reproducible.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.net.errors import UnknownPeerError
+from repro.net.faults import FaultModel
 from repro.net.stats import NetworkStats
 from repro.xmlmodel.tree import Element
 
@@ -43,20 +66,38 @@ class _Event:
     message: Message = field(compare=False)
 
 
+PeerLifecycleListener = Callable[[str], None]
+
+
 class SimNetwork:
     """The simulated network connecting all peers of a scenario.
 
     Parameters
     ----------
     seed:
-        Seed for the network's RNG (peer coordinates, workload helpers).
+        Seed for the network's RNGs (peer coordinates and fault draws use
+        independent streams derived from it).
     base_latency:
         Fixed per-message latency added to the coordinate distance.
+    fault_model:
+        Optional :class:`FaultModel` applied to every scheduled delivery;
+        ``None`` is a perfect network.  Swap at runtime with
+        :meth:`set_fault_model`.
     """
 
-    def __init__(self, seed: int = 0, base_latency: float = 0.001) -> None:
-        self.random = random.Random(seed)
+    def __init__(
+        self,
+        seed: int = 0,
+        base_latency: float = 0.001,
+        fault_model: FaultModel | None = None,
+    ) -> None:
+        self.seed = seed
+        #: draws peer coordinates at registration time
+        self.topology_rng = random.Random(seed)
+        #: drives runtime fault decisions (loss, duplication, jitter)
+        self.runtime_rng = random.Random(f"{seed}:runtime")
         self.base_latency = base_latency
+        self.fault_model = fault_model
         self.now = 0.0
         self.stats = NetworkStats()
         self._peers: dict[str, "Peer"] = {}
@@ -65,6 +106,28 @@ class SimNetwork:
         self._sequence = 0
         self._trace: list[Message] = []
         self.trace_enabled = False
+        #: deterministic, human-readable log of network events (opt-in)
+        self.event_log: list[str] = []
+        self.record_events = False
+        self._down: set[str] = set()
+        self._partitions: dict[str, tuple[frozenset[str], ...]] = {}
+        self._held: dict[str, list[Message]] = {}
+        self._down_listeners: list[PeerLifecycleListener] = []
+        self._up_listeners: list[PeerLifecycleListener] = []
+        #: counters chaos tests and benchmarks read
+        self.messages_lost = 0
+        self.messages_duplicated = 0
+        self.messages_held = 0
+        self.messages_dropped_peer_down = 0
+
+    # ------------------------------------------------------------------ #
+    # Backwards compatibility
+    # ------------------------------------------------------------------ #
+
+    @property
+    def random(self) -> random.Random:
+        """Deprecated alias of :attr:`topology_rng` (pre-fault-kernel name)."""
+        return self.topology_rng
 
     # ------------------------------------------------------------------ #
     # Peer management
@@ -76,13 +139,14 @@ class SimNetwork:
             raise ValueError(f"peer {peer.peer_id!r} is already registered")
         self._peers[peer.peer_id] = peer
         if coordinates is None:
-            coordinates = (self.random.random(), self.random.random())
+            coordinates = (self.topology_rng.random(), self.topology_rng.random())
         self._coordinates[peer.peer_id] = coordinates
 
     def unregister(self, peer_id: str) -> None:
         """Remove a peer (simulates the peer leaving the network)."""
         self._peers.pop(peer_id, None)
         self._coordinates.pop(peer_id, None)
+        self._down.discard(peer_id)
 
     def peer(self, peer_id: str) -> "Peer":
         try:
@@ -115,17 +179,173 @@ class SimNetwork:
         return self.base_latency + self.distance(source, destination) / 100.0
 
     # ------------------------------------------------------------------ #
+    # Peer lifecycle (fail / revive)
+    # ------------------------------------------------------------------ #
+
+    def fail_peer(self, peer_id: str) -> bool:
+        """Mark a registered peer as failed: it can no longer send or receive.
+
+        The peer stays registered (its identity and coordinates survive), so
+        it can be revived later; messages addressed to it while down are
+        dropped at delivery time.  Returns False when already down.
+        """
+        if peer_id not in self._peers:
+            raise UnknownPeerError(f"cannot fail unknown peer {peer_id!r}")
+        if peer_id in self._down:
+            return False
+        self._down.add(peer_id)
+        self._log(f"fail {peer_id}")
+        for listener in list(self._down_listeners):
+            listener(peer_id)
+        return True
+
+    def revive_peer(self, peer_id: str) -> bool:
+        """Bring a failed peer back; returns False when it was not down."""
+        if peer_id not in self._peers:
+            raise UnknownPeerError(f"cannot revive unknown peer {peer_id!r}")
+        if peer_id not in self._down:
+            return False
+        self._down.discard(peer_id)
+        self._log(f"revive {peer_id}")
+        for listener in list(self._up_listeners):
+            listener(peer_id)
+        return True
+
+    def is_alive(self, peer_id: str) -> bool:
+        """True when the peer is registered and not failed."""
+        return peer_id in self._peers and peer_id not in self._down
+
+    def down_peers(self) -> frozenset[str]:
+        """The currently failed peers."""
+        return frozenset(self._down)
+
+    def on_peer_down(self, listener: PeerLifecycleListener) -> Callable[[], None]:
+        """Invoke ``listener(peer_id)`` on every failure; returns an unsubscriber."""
+        self._down_listeners.append(listener)
+        return lambda: self._discard_listener(self._down_listeners, listener)
+
+    def on_peer_up(self, listener: PeerLifecycleListener) -> Callable[[], None]:
+        """Invoke ``listener(peer_id)`` on every revival; returns an unsubscriber."""
+        self._up_listeners.append(listener)
+        return lambda: self._discard_listener(self._up_listeners, listener)
+
+    @staticmethod
+    def _discard_listener(
+        bucket: list[PeerLifecycleListener], listener: PeerLifecycleListener
+    ) -> None:
+        if listener in bucket:
+            bucket.remove(listener)
+
+    # ------------------------------------------------------------------ #
+    # Partitions
+    # ------------------------------------------------------------------ #
+
+    def partition(self, name: str, *groups: list[str] | set[str] | tuple[str, ...]) -> None:
+        """Split the network: peers in different ``groups`` cannot exchange messages.
+
+        Messages crossing the split are held and rescheduled at
+        :meth:`heal` time (a reliable transport retransmits across a
+        temporary split).  Peers not named in any group are unaffected.
+        """
+        if name in self._partitions:
+            raise ValueError(f"partition {name!r} is already active")
+        if len(groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        frozen = tuple(frozenset(group) for group in groups)
+        seen: set[str] = set()
+        for group in frozen:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"peers {sorted(overlap)} appear in two groups")
+            seen |= group
+        self._partitions[name] = frozen
+        self._held[name] = []
+        self._log(f"partition {name} " + "|".join(",".join(sorted(g)) for g in frozen))
+
+    def heal(self, name: str) -> int:
+        """End a partition; held messages are rescheduled for delivery.
+
+        Returns the number of messages released.  Unknown names are a no-op
+        returning 0 (healing twice is safe in chaos schedules).
+        """
+        if name not in self._partitions:
+            return 0
+        del self._partitions[name]
+        held = self._held.pop(name, [])
+        self._log(f"heal {name} released={len(held)}")
+        for message in held:
+            if (
+                message.source not in self._peers
+                or message.destination not in self._peers
+            ):
+                # an endpoint left the network while the partition was active;
+                # drop the message like the delivery path does for departed peers
+                self._log(
+                    f"drop peer-gone {message.source}->{message.destination} {message.kind}"
+                )
+                continue
+            self._schedule(
+                message.source,
+                message.destination,
+                message.kind,
+                message.payload,
+                message.size,
+                record_stats=False,
+                apply_faults=False,
+            )
+        return len(held)
+
+    @property
+    def active_partitions(self) -> list[str]:
+        return sorted(self._partitions)
+
+    @property
+    def held_messages(self) -> int:
+        """Messages currently stalled behind active partitions."""
+        return sum(len(held) for held in self._held.values())
+
+    def _blocking_partition(self, source: str, destination: str) -> str | None:
+        """Name of the first partition separating the two peers (or None)."""
+        for name in sorted(self._partitions):
+            groups = self._partitions[name]
+            source_group = destination_group = -1
+            for index, group in enumerate(groups):
+                if source in group:
+                    source_group = index
+                if destination in group:
+                    destination_group = index
+            if source_group >= 0 and destination_group >= 0 and source_group != destination_group:
+                return name
+        return None
+
+    # ------------------------------------------------------------------ #
     # Messaging
     # ------------------------------------------------------------------ #
 
     def send(self, source: str, destination: str, kind: str, payload: Element) -> Message:
-        """Queue a message for delivery; returns the scheduled message."""
+        """Queue a message for delivery; returns the scheduled message.
+
+        The fault model, partitions and peer liveness all apply here: a
+        message from a failed peer is discarded, one crossing a partition is
+        held until heal, and the fault model may lose, duplicate or delay
+        what remains.
+        """
         if destination not in self._peers:
             raise UnknownPeerError(f"cannot send to unknown peer {destination!r}")
         if source not in self._peers:
             raise UnknownPeerError(f"cannot send from unknown peer {source!r}")
-        size = payload.weight()
-        message = Message(
+        if source in self._down:
+            # a failed peer cannot transmit: drop silently (its in-process
+            # objects may still try to send during teardown)
+            self.messages_dropped_peer_down += 1
+            self._log(f"drop source-down {source}->{destination} {kind}")
+            return self._make_message(source, destination, kind, payload, payload.weight())
+        return self._schedule(source, destination, kind, payload, payload.weight())
+
+    def _make_message(
+        self, source: str, destination: str, kind: str, payload: Element, size: int
+    ) -> Message:
+        return Message(
             source=source,
             destination=destination,
             kind=kind,
@@ -134,12 +354,61 @@ class SimNetwork:
             sent_at=self.now,
             deliver_at=self.now + self.latency(source, destination),
         )
-        self._sequence += 1
-        heapq.heappush(self._queue, _Event(message.deliver_at, self._sequence, message))
-        self.stats.record(source, destination, size)
-        if self.trace_enabled:
-            self._trace.append(message)
-        return message
+
+    def _schedule(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        payload: Element,
+        size: int,
+        record_stats: bool = True,
+        apply_faults: bool = True,
+    ) -> Message:
+        message = self._make_message(source, destination, kind, payload, size)
+        if record_stats:
+            # a heal-time reschedule was already recorded (and traced) when
+            # the message was first sent
+            self.stats.record(source, destination, size)
+            if self.trace_enabled:
+                self._trace.append(message)
+        blocking = self._blocking_partition(source, destination)
+        if blocking is not None:
+            self.messages_held += 1
+            self._held[blocking].append(message)
+            self._log(f"hold {blocking} {source}->{destination} {kind}")
+            return message
+        delays: list[float] | None = [0.0]
+        if apply_faults and self.fault_model is not None:
+            # heal-time reschedules skip the fault draws: the hold models a
+            # reliable transport retransmitting across a temporary split, so
+            # held messages are delayed, never lost or duplicated
+            delays = self.fault_model.delivery_delays(size, self.runtime_rng)
+        if delays is None:
+            self.messages_lost += 1
+            self._log(f"drop loss {source}->{destination} {kind}")
+            return message
+        if len(delays) > 1:
+            self.messages_duplicated += len(delays) - 1
+            self._log(f"dup {source}->{destination} {kind} copies={len(delays)}")
+        first: Message | None = None
+        for delay in delays:
+            copy = (
+                message
+                if delay == 0.0
+                else replace(message, deliver_at=message.deliver_at + delay)
+            )
+            self._sequence += 1
+            heapq.heappush(self._queue, _Event(copy.deliver_at, self._sequence, copy))
+            if first is None:
+                first = copy
+        assert first is not None
+        return first
+
+    def set_fault_model(self, fault_model: FaultModel | None) -> None:
+        """Swap the active fault model (``None`` restores the perfect network)."""
+        self.fault_model = fault_model
+        self._log(f"faults {fault_model!r}")
 
     @property
     def pending_messages(self) -> int:
@@ -156,8 +425,15 @@ class SimNetwork:
         event = heapq.heappop(self._queue)
         self.now = max(self.now, event.deliver_at)
         message = event.message
+        if message.destination in self._down:
+            self.messages_dropped_peer_down += 1
+            self._log(
+                f"drop destination-down {message.source}->{message.destination} {message.kind}"
+            )
+            return True
         peer = self._peers.get(message.destination)
         if peer is not None:  # peer may have left while the message was in flight
+            self._log(f"deliver {message.source}->{message.destination} {message.kind}")
             peer.handle_message(message)
         return True
 
@@ -180,6 +456,19 @@ class SimNetwork:
         if duration < 0:
             raise ValueError("cannot advance time backwards")
         self.now += duration
+
+    # ------------------------------------------------------------------ #
+    # Event log
+    # ------------------------------------------------------------------ #
+
+    def _log(self, text: str) -> None:
+        if self.record_events:
+            self.event_log.append(f"{self.now:.6f} {text}")
+
+    def trace_fingerprint(self) -> str:
+        """SHA-256 over the event log -- the golden-trace determinism anchor."""
+        digest = hashlib.sha256("\n".join(self.event_log).encode("utf-8"))
+        return digest.hexdigest()
 
 
 def broadcast(

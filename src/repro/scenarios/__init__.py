@@ -1,0 +1,40 @@
+"""Declarative chaos scenarios: topology + workload + fault schedule + invariants.
+
+A :class:`~repro.scenarios.chaos.ChaosScenario` packages everything a
+reproducible chaos run needs -- the peer topology, the chaos-feed workload,
+a tick-indexed fault schedule (peer failures and revivals, named network
+partitions, fault-model swaps, seeded random churn) and the invariants the
+run must satisfy ("every alert delivered exactly once after the partition
+heals", "no duplicates ever", "the subscription recovers").  Runs are fully
+deterministic: the same seed yields a byte-identical network event trace,
+pinned by :meth:`ScenarioResult.fingerprint`.
+
+The named scenarios of :mod:`repro.scenarios.catalog` are runnable
+one-liners::
+
+    PYTHONPATH=src python scenarios/run_scenario.py partition-heal --seed 7
+
+and the nightly ``chaos-soak`` CI workflow sweeps the (scenario x seed)
+matrix with a determinism check.
+"""
+
+from repro.scenarios.chaos import (
+    ChaosScenario,
+    ChurnSpec,
+    ScenarioAction,
+    ScenarioResult,
+)
+from repro.scenarios.invariants import INVARIANTS, InvariantResult
+from repro.scenarios.catalog import SCENARIOS, make_scenario, scenario_names
+
+__all__ = [
+    "ChaosScenario",
+    "ChurnSpec",
+    "ScenarioAction",
+    "ScenarioResult",
+    "INVARIANTS",
+    "InvariantResult",
+    "SCENARIOS",
+    "make_scenario",
+    "scenario_names",
+]

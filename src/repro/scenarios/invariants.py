@@ -1,0 +1,89 @@
+"""Invariant checks evaluated over a finished chaos-scenario run.
+
+Each invariant is a named predicate over the :class:`ScenarioResult`; a
+scenario declares which invariants apply to it (exactly-once only makes
+sense when the fault model loses nothing, for example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.chaos import ScenarioResult
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+InvariantCheck = Callable[["ScenarioResult"], tuple[bool, str]]
+
+
+def _no_duplicates(result: "ScenarioResult") -> tuple[bool, str]:
+    """No alert identity is ever delivered twice (exactly-once dedup works)."""
+    duplicates = len(result.received) - len(set(result.received))
+    return duplicates == 0, f"{duplicates} duplicate deliveries"
+
+
+def _exactly_once(result: "ScenarioResult") -> tuple[bool, str]:
+    """Every emitted alert is delivered exactly once (loss-free scenarios).
+
+    Partitions hold messages rather than dropping them, so a scenario whose
+    faults are only partitions (plus clean failures between drained ticks)
+    must deliver the emitted set exactly.
+    """
+    emitted = set(result.emitted)
+    received = set(result.received)
+    missing = emitted - received
+    unexpected = received - emitted
+    duplicates = len(result.received) - len(received)
+    ok = not missing and not unexpected and duplicates == 0
+    return ok, (
+        f"{len(missing)} missing, {len(unexpected)} unexpected, "
+        f"{duplicates} duplicates of {len(emitted)} emitted"
+    )
+
+
+def _recovers(result: "ScenarioResult") -> tuple[bool, str]:
+    """The subscription went through RECOVERING and is deployed again at the end."""
+    entered = any(event.outcome == "recovering" for event in result.recovery_events)
+    redeployed = result.final_status == "deployed"
+    return (
+        entered and redeployed,
+        f"entered-recovering={entered} final-status={result.final_status}",
+    )
+
+
+def _drain_delivered(result: "ScenarioResult") -> tuple[bool, str]:
+    """Alerts emitted after every fault healed (the drain phase) all arrive."""
+    expected = {pair for pair in result.emitted if pair[1] >= result.drain_start}
+    missing = expected - set(result.received)
+    return not missing, f"{len(missing)} of {len(expected)} drain-phase alerts missing"
+
+
+#: Registry of invariant checks, by the name scenarios refer to them with.
+INVARIANTS: dict[str, InvariantCheck] = {
+    "no-duplicates": _no_duplicates,
+    "exactly-once": _exactly_once,
+    "recovers": _recovers,
+    "drain-delivered": _drain_delivered,
+}
+
+
+def check(name: str, result: "ScenarioResult") -> InvariantResult:
+    """Evaluate one named invariant against a scenario result."""
+    try:
+        checker = INVARIANTS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown invariant {name!r} (known: {', '.join(sorted(INVARIANTS))})"
+        ) from exc
+    ok, detail = checker(result)
+    return InvariantResult(name, ok, detail)

@@ -13,6 +13,8 @@ the same *shape* of events and drives the same alerters:
   with downloads, queries and peer churn.
 * :mod:`repro.workloads.meteo` -- the end-to-end meteo QoS scenario of
   Figure 1 / Figure 4 (three monitored peers plus a monitor peer).
+* :mod:`repro.workloads.chaos_feed` -- a controllable alert source whose
+  emissions carry unique identities, for chaos-scenario invariants.
 """
 
 from repro.workloads.soap_traffic import SoapCall, SoapTrafficGenerator
@@ -20,6 +22,7 @@ from repro.workloads.rss_feeds import RSSFeedSimulator
 from repro.workloads.webpages import WebPageSimulator
 from repro.workloads.edos import EdosNetwork
 from repro.workloads.meteo import MeteoScenario
+from repro.workloads.chaos_feed import ChaosFeedAlerter, ChaosFeedWorkload
 
 __all__ = [
     "SoapCall",
@@ -28,4 +31,6 @@ __all__ = [
     "WebPageSimulator",
     "EdosNetwork",
     "MeteoScenario",
+    "ChaosFeedAlerter",
+    "ChaosFeedWorkload",
 ]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import Peer, SimNetwork
+from repro.net import Peer, RemoteChannelProxy, SimNetwork
 from repro.net.errors import UnknownChannelError
 from repro.streams import collect
 from repro.xmlmodel import Element
@@ -145,3 +145,67 @@ class TestSubscription:
         network.run()
         assert len(received) == 1
         assert received[0].attrib["from"] == "a"
+
+
+class TestExactlyOnceDelivery:
+    """Sequence-numbered items survive a duplicating/reordering network."""
+
+    def test_duplicated_messages_are_dropped_at_the_proxy(self):
+        from repro.net import FaultModel
+
+        network = SimNetwork(seed=3, fault_model=FaultModel(duplication_rate=1.0))
+        publisher = Peer("pub.com", network)
+        subscriber = Peer("sub.com", network)
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        network.set_fault_model(None)  # deploy the subscription cleanly
+        proxy = subscriber.subscribe_channel("pub.com", "X")
+        network.run()
+        network.set_fault_model(FaultModel(duplication_rate=1.0))
+        received = collect(proxy)
+        for i in range(5):
+            stream.emit(Element("alert", {"n": str(i)}))
+        network.run()
+        assert [item.attrib["n"] for item in received] == ["0", "1", "2", "3", "4"]
+        assert proxy.duplicates_dropped == 5
+        assert network.messages_duplicated == 5
+
+    def test_seq_numbers_are_per_subscriber(self):
+        network = SimNetwork(seed=1)
+        publisher = Peer("pub.com", network)
+        first = Peer("a.com", network)
+        second = Peer("b.com", network)
+        stream = publisher.create_stream("alerts")
+        channel = publisher.publish_channel("X", stream)
+        proxy_a = first.subscribe_channel("pub.com", "X")
+        proxy_b = second.subscribe_channel("pub.com", "X")
+        network.run()
+        got_a, got_b = collect(proxy_a), collect(proxy_b)
+        stream.emit(Element("alert"))
+        stream.emit(Element("alert"))
+        network.run()
+        assert len(got_a) == len(got_b) == 2
+        assert channel.next_seq == {"a.com": 2, "b.com": 2}
+
+    def test_stale_subscribe_receives_end_of_channel(self):
+        """A subscribe in flight while the channel is withdrawn must not crash."""
+        network = SimNetwork(seed=1)
+        publisher = Peer("pub.com", network)
+        subscriber = Peer("sub.com", network)
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxy = subscriber.subscribe_channel("pub.com", "X")
+        publisher.unpublish_channel("X")  # withdrawn before the subscribe lands
+        network.run()
+        assert proxy.closed  # the publisher answered with end-of-channel
+
+    def test_seq_dedup_memory_is_bounded(self):
+        proxy = RemoteChannelProxy("pub.com", "X", "sub.com")
+        window = RemoteChannelProxy.SEQ_WINDOW
+        for seq in range(window * 3):
+            assert proxy.accept_seq(seq) is True
+        assert len(proxy.seen_seqs) <= window
+        # everything inside the retained window still dedups
+        assert proxy.accept_seq(window * 3 - 1) is False
+        # a seq far below the floor is treated as already seen (safe direction)
+        assert proxy.accept_seq(0) is False

@@ -1,0 +1,340 @@
+"""Tests for self-healing deployments: orphan detection, redeployment, revival."""
+
+import pytest
+
+from repro.algebra.plan import UNION
+from repro.monitor import (
+    DEPLOYED,
+    PAUSED,
+    RECOVERING,
+    P2PMSystem,
+    SubscriptionStateError,
+)
+from repro.workloads import ChaosFeedWorkload
+from repro.workloads.chaos_feed import CHAOS_FUNCTION
+
+
+def build_system(n_sources: int = 3, seed: int = 1):
+    system = P2PMSystem(seed=seed)
+    sources = [f"s{i}" for i in range(n_sources)]
+    for source in sources:
+        system.add_peer(source)
+    monitor = system.add_peer("monitor")
+    return system, sources, monitor
+
+
+def subscription_text(sources) -> str:
+    peers = " ".join(f"<p>{source}</p>" for source in sources)
+    return (
+        f'for $x in {CHAOS_FUNCTION}({peers}) where $x.kind = "chaos" '
+        "return <seen><src>{$x.source}</src><n>{$x.n}</n></seen>"
+    )
+
+
+def deploy(system, sources, monitor, sub_id="chaos", **options):
+    handle = monitor.subscribe(subscription_text(sources), sub_id=sub_id, **options)
+    system.run()
+    return handle
+
+
+def union_host(handle) -> str:
+    return handle.plan.find_all(UNION)[0].placement
+
+
+def collect_results(handle):
+    received = []
+    handle.on_result(
+        lambda item: received.append((item.find("src").text, int(item.find("n").text)))
+    )
+    return received
+
+
+class TestOrphanDetection:
+    def test_orphaned_resources_name_the_failed_peers_streams(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        victim = union_host(handle)
+        orphans = system.recovery.orphaned_resources(victim)
+        assert orphans, "the union host owns deployed streams"
+        assert all(
+            (len(key) == 2 and key[0] == victim) or (key[0] == "proxy" and victim in key)
+            for key in orphans
+        )
+
+    def test_affected_subscriptions_found_via_ledger_closure(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        victim = union_host(handle)
+        assert system.recovery.affected_subscriptions(victim) == ["chaos"]
+        # a peer hosting nothing affects nothing
+        outsider = next(s for s in sources if s != victim)
+        system.add_peer("idle")
+        assert system.recovery.affected_subscriptions("idle") == []
+        # every source peer hosts its alerter + filter branch
+        assert system.recovery.affected_subscriptions(outsider) == ["chaos"]
+
+
+class TestFailover:
+    def test_union_host_failure_redeploys_on_survivors(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        received = collect_results(handle)
+        victim = union_host(handle)
+        observed_statuses = []
+        handle.on_recovery(lambda event: observed_statuses.append((event.outcome, handle.status)))
+
+        system.fail_peer(victim)
+        system.run()
+
+        # the RECOVERING state was observable while redeployment ran
+        assert ("recovering", RECOVERING) in observed_statuses
+        assert ("degraded", DEPLOYED) in observed_statuses
+        assert handle.status == DEPLOYED
+        assert victim not in handle.peers_involved()
+        assert union_host(handle) != victim
+
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 0)
+        system.run()
+        survivors = {s for s in sources if s != victim}
+        assert set(received) == {(s, 0) for s in survivors}
+
+    def test_revival_restores_full_coverage(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        received = collect_results(handle)
+        victim = union_host(handle)
+        system.fail_peer(victim)
+        system.run()
+        system.revive_peer(victim)
+        system.run()
+        assert handle.status == DEPLOYED
+        assert victim in handle.peers_involved()
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 7)
+        system.run()
+        assert set(received) == {(s, 7) for s in sources}
+        assert system.recovery.pending_sources == {}
+
+    def test_all_sources_down_waits_then_recovers(self):
+        system, sources, monitor = build_system(n_sources=2)
+        handle = deploy(system, sources, monitor)
+        received = collect_results(handle)
+        for source in sources:
+            system.fail_peer(source)
+        system.run()
+        assert handle.status == RECOVERING
+        assert set(system.recovery.pending_sources["chaos"]) == set(sources)
+        system.revive_peer(sources[0])
+        system.run()
+        assert handle.status == DEPLOYED  # degraded: one source back
+        system.revive_peer(sources[1])
+        system.run()
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 3)
+        system.run()
+        assert set(received) == {(s, 3) for s in sources}
+
+    def test_delivery_callbacks_survive_redeployment(self):
+        """on_result subscribers attach once and keep firing after recovery."""
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        received = collect_results(handle)
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 0)
+        system.run()
+        before = len(received)
+        victim = union_host(handle)
+        system.fail_peer(victim)
+        system.run()
+        system.revive_peer(victim)
+        system.run()
+        workload.tick(system, 1)
+        system.run()
+        assert len(received) == before + len(sources)
+        assert len(received) == len(set(received))
+
+    def test_result_buffer_survives_redeployment(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor, max_results=100)
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 0)
+        system.run()
+        assert len(handle.results()) == len(sources)
+        victim = union_host(handle)
+        system.fail_peer(victim)
+        system.run()
+        workload.tick(system, 1)
+        system.run()
+        results = handle.results()
+        # pre-failure results retained, post-failure results appended
+        assert {(r.find("src").text, r.find("n").text) for r in results} >= {
+            (s, "0") for s in sources
+        }
+        assert any(r.find("n").text == "1" for r in results)
+
+    def test_publisher_subscription_recovers_without_double_publication(self):
+        system, sources, monitor = build_system()
+        text = subscription_text(sources).replace(
+            "return <seen><src>{$x.source}</src><n>{$x.n}</n></seen>",
+            "return <seen><src>{$x.source}</src><n>{$x.n}</n></seen> "
+            'by publish as channel "chaosAlerts"',
+        )
+        handle = monitor.subscribe(text, sub_id="chaos")
+        system.run()
+        old_publisher = handle.publisher
+        assert old_publisher is not None
+        victim = union_host(handle)
+        system.fail_peer(victim)
+        system.run()
+        new_publisher = handle.publisher
+        assert new_publisher is not None and new_publisher is not old_publisher
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 4)
+        system.run()
+        survivors = [s for s in sources if s != victim]
+        # each surviving source's alert published exactly once, by the new
+        # publisher only
+        assert new_publisher.items_published == len(survivors)
+        assert old_publisher.items_published == 0
+        assert monitor.net.channels.publishes("chaosAlerts")
+
+    def test_paused_subscription_recovers_paused(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        received = collect_results(handle)
+        handle.pause()
+        victim = union_host(handle)
+        system.fail_peer(victim)
+        system.run()
+        assert handle.status == PAUSED
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 2)
+        system.run()
+        assert received == []  # still paused
+        handle.resume()
+        survivors = {s for s in sources if s != victim}
+        assert set(received) == {(s, 2) for s in survivors}
+
+
+class TestLifecycleInteraction:
+    def test_cancel_while_waiting(self):
+        system, sources, monitor = build_system(n_sources=2)
+        handle = deploy(system, sources, monitor)
+        for source in sources:
+            system.fail_peer(source)
+        assert handle.status == RECOVERING
+        assert handle.cancel() is True
+        system.revive_peer(sources[0])
+        system.run()
+        assert handle.status == "cancelled"
+        assert "chaos" not in system.recovery.pending_sources
+
+    def test_resume_while_recovering_raises(self):
+        system, sources, monitor = build_system(n_sources=2)
+        handle = deploy(system, sources, monitor)
+        for source in sources:
+            system.fail_peer(source)
+        assert handle.is_recovering
+        with pytest.raises(SubscriptionStateError):
+            handle.resume()
+
+    def test_is_active_covers_recovering(self):
+        system, sources, monitor = build_system(n_sources=2)
+        handle = deploy(system, sources, monitor)
+        for source in sources:
+            system.fail_peer(source)
+        assert handle.is_active
+        assert monitor.manager.active_subscriptions() == ["chaos"]
+
+    def test_unaffected_subscription_left_alone(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        other_sources = sources[:1]
+        other = deploy(system, other_sources, monitor, sub_id="narrow")
+        # fail a peer only the wide subscription spans
+        wide_only = next(s for s in sources[1:] if s not in other.peers_involved())
+        events_before = len(system.recovery.events)
+        system.fail_peer(wide_only)
+        system.run()
+        assert handle.status == DEPLOYED
+        assert other.status == DEPLOYED
+        touched = {e.sub_id for e in system.recovery.events[events_before:]}
+        assert touched == {"chaos"}
+
+    def test_co_subscriber_keeps_receiving_through_peer_failure(self):
+        """Recovery of one subscription must not break an overlapping one."""
+        system, sources, monitor = build_system()
+        wide = deploy(system, sources, monitor)
+        narrow = deploy(system, sources[:2], monitor, sub_id="narrow", reuse=False)
+        wide_received = collect_results(wide)
+        narrow_received = collect_results(narrow)
+        victim = sources[2]  # only the wide subscription spans s2
+        if union_host(narrow) == victim:  # pragma: no cover - topology guard
+            pytest.skip("placement put the narrow union on the wide-only peer")
+        system.fail_peer(victim)
+        system.run()
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 5)
+        system.run()
+        survivors = {s for s in sources if s != victim}
+        assert set(wide_received) == {(s, 5) for s in survivors}
+        assert set(narrow_received) == {(s, 5) for s in sources[:2] if s in survivors}
+
+
+class TestReviewRegressions:
+    def test_pause_survives_a_waiting_recovery_round(self):
+        """A paused subscription must stay paused through waiting -> revival."""
+        system, sources, monitor = build_system(n_sources=2)
+        handle = deploy(system, sources, monitor)
+        received = collect_results(handle)
+        handle.pause()
+        for source in sources:
+            system.fail_peer(source)
+        system.run()
+        assert handle.status == RECOVERING  # waiting: nothing deployable
+        system.revive_peer(sources[0])
+        system.run()
+        assert handle.status == PAUSED  # recovered, but the pause held
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 1)
+        system.run()
+        assert received == []
+        handle.resume()
+        assert received == [(sources[0], 1)]
+
+    def test_manager_peer_failure_abandons_until_its_revival(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        received = collect_results(handle)
+        system.fail_peer("monitor")
+        # a source failing while the manager is down must not redeploy from it
+        system.fail_peer(sources[0])
+        events = [e.outcome for e in system.recovery.events]
+        assert "abandoned" in events
+        assert "monitor" in system.recovery.pending_sources["chaos"]
+        system.revive_peer(sources[0])
+        system.run()
+        # still driven by a dead manager: nothing redeployed yet
+        assert "monitor" in system.recovery.pending_sources.get("chaos", set())
+        system.revive_peer("monitor")
+        system.run()
+        assert handle.status == DEPLOYED
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 9)
+        system.run()
+        assert set(received) == {(s, 9) for s in sources}
+
+    def test_unsubscriber_still_works_after_recovery_handover(self):
+        system, sources, monitor = build_system()
+        handle = deploy(system, sources, monitor)
+        received = []
+        unsubscribe = handle.on_result(lambda item: received.append(item))
+        victim = union_host(handle)
+        system.fail_peer(victim)
+        system.run()
+        unsubscribe()  # callback was moved to the replacement delivery stream
+        workload = ChaosFeedWorkload(sources)
+        workload.tick(system, 2)
+        system.run()
+        assert received == []
