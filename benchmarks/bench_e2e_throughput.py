@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""End-to-end delivery throughput: publish -> channel fan-out -> SimNetwork -> proxy.
+
+``BENCH_filter.json`` tracks the filter micro-path; this suite governs the
+*macro* path the ROADMAP's "fast as the hardware allows" goal actually needs:
+every published item fans out through a :class:`~repro.net.channel.Channel`,
+is scheduled and delivered by :class:`~repro.net.simnet.SimNetwork`, lands in
+a :class:`~repro.net.channel.RemoteChannelProxy` and reaches a per-subscriber
+callback.  Measured at 100/1k/10k subscribers, with a perfect network and
+with a fault model (loss + duplication + jitter + finite bandwidth), and
+written to ``BENCH_e2e.json`` for the CI regression gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e2e_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_e2e_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_e2e_throughput.py --quick \
+        --output /tmp/bench_e2e.json --compare BENCH_e2e.json --tolerance 0.4
+
+``--compare`` matches rows by ``(subscribers, faults)`` and fails when any
+matched row's ``deliveries_per_sec`` regressed beyond ``--tolerance``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.net.faults import FaultModel  # noqa: E402
+from repro.net.peer import Peer  # noqa: E402
+from repro.net.simnet import SimNetwork  # noqa: E402
+from repro.xmlmodel.tree import Element  # noqa: E402
+
+#: Macro-path throughput measured immediately before the delivery fast path
+#: landed (PR 4, same machine/workload).  Kept here so every future
+#: BENCH_e2e.json carries its speedup-vs-pre-PR factor; the acceptance
+#: criterion for PR 4 was >= 5x deliveries/sec at 1,000 subscribers.
+PRE_PR_BASELINE = {
+    "deliveries_per_sec_at_1k_subscribers_perfect": 22175.9,
+    "deliveries_per_sec_at_1k_subscribers_faulty": 20410.9,
+    "deliveries_per_sec_at_10k_subscribers_perfect": 16736.2,
+}
+
+#: The fault model used by every "faults" row: mild loss and duplication,
+#: jitter that reorders, and a finite bandwidth so item size matters.
+BENCH_FAULTS = FaultModel(
+    loss_rate=0.02, duplication_rate=0.02, jitter=0.002, bandwidth=200_000
+)
+
+
+def make_item(n: int) -> Element:
+    """One published item: a small alert tree (3 levels, ~200 weight units)."""
+    return Element(
+        "alert",
+        {"type": "slowAnswer", "n": str(n)},
+        [
+            Element("call", {"callId": str(n % 97), "caller": "http://a.com"}),
+            Element("body", {"sev": str(n % 5)}, text="x" * 80),
+        ],
+    )
+
+
+def build_fanout(
+    n_subscribers: int, seed: int, fault_model: FaultModel | None
+) -> tuple[SimNetwork, object, list]:
+    """A publisher peer, one channel, ``n_subscribers`` remote proxies."""
+    network = SimNetwork(seed=seed)
+    publisher = Peer("pub", network)
+    stream = publisher.create_stream("s")
+    publisher.publish_channel("ch", stream)
+    proxies = []
+    for i in range(n_subscribers):
+        peer = Peer(f"sub{i}", network)
+        proxies.append(peer.subscribe_channel("pub", "ch"))
+    network.run()  # settle the subscribe handshakes on the perfect network
+    network.set_fault_model(fault_model)
+    counters = [0] * n_subscribers
+
+    def make_sink(index: int):
+        def sink(item: object) -> None:
+            counters[index] += 1
+
+        return sink
+
+    for index, proxy in enumerate(proxies):
+        proxy.subscribe(make_sink(index))
+    return network, stream, counters
+
+
+def measure(
+    n_subscribers: int,
+    n_items: int,
+    rounds: int,
+    fault_model: FaultModel | None,
+    seed: int = 11,
+) -> dict:
+    """Best-of-``rounds`` publish+drain timing for one fan-out size."""
+    network, stream, counters = build_fanout(n_subscribers, seed, fault_model)
+    # keep (elapsed, delivered) as a pair so the reported rate's numerator
+    # and denominator always come from the same round (delivery counts vary
+    # round-to-round under a faulty network)
+    best_elapsed = float("inf")
+    best_delivered = 0
+    next_n = 0
+    for _ in range(rounds):
+        items = [make_item(next_n + i) for i in range(n_items)]
+        next_n += n_items
+        before = sum(counters)
+        start = time.perf_counter()
+        stream.emit_many(items)
+        network.run()
+        elapsed = time.perf_counter() - start
+        delivered = sum(counters) - before
+        if delivered / elapsed > (
+            best_delivered / best_elapsed if best_elapsed < float("inf") else 0.0
+        ):
+            best_elapsed = elapsed
+            best_delivered = delivered
+    return {
+        "experiment": "E2E",
+        "subscribers": n_subscribers,
+        "items": n_items,
+        "faults": fault_model is not None,
+        "best_seconds": round(best_elapsed, 6),
+        "items_per_sec": round(n_items / best_elapsed, 1),
+        "deliveries_per_sec": round(best_delivered / best_elapsed, 1),
+        "deliveries": best_delivered,
+        "network_messages": network.stats.total_messages,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    if quick:
+        matrix = [(100, 100, 2), (1000, 25, 2)]
+    else:
+        matrix = [(100, 200, 3), (1000, 50, 3), (10000, 10, 1)]
+    rows: list[dict] = []
+    for n_subscribers, n_items, rounds in matrix:
+        for fault_model in (None, BENCH_FAULTS):
+            rows.append(measure(n_subscribers, n_items, rounds, fault_model))
+    summary: dict = {"suite": "e2e", "quick": quick, "throughput": rows}
+    baseline = PRE_PR_BASELINE.get("deliveries_per_sec_at_1k_subscribers_perfect")
+    row_1k = next(
+        (r for r in rows if r["subscribers"] == 1000 and not r["faults"]), None
+    )
+    if baseline and row_1k is not None:
+        summary["pre_pr_baseline"] = PRE_PR_BASELINE
+        summary["speedup_vs_pre_pr_1k"] = round(
+            row_1k["deliveries_per_sec"] / baseline, 2
+        )
+    return summary
+
+
+def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Rows matched by (subscribers, faults); regression when deliveries/sec
+    falls more than ``tolerance`` below the baseline row."""
+    problems: list[str] = []
+    matched = 0
+    baseline_rows = {
+        (row["subscribers"], row["faults"]): row
+        for row in baseline.get("throughput", [])
+    }
+    for row in summary.get("throughput", []):
+        reference = baseline_rows.get((row["subscribers"], row["faults"]))
+        if reference is None:
+            continue
+        matched += 1
+        floor = reference["deliveries_per_sec"] * (1.0 - tolerance)
+        if row["deliveries_per_sec"] < floor:
+            problems.append(
+                f"e2e[subs={row['subscribers']},faults={row['faults']}]: "
+                f"{row['deliveries_per_sec']:.1f} deliveries/s is below "
+                f"{floor:.1f} (baseline {reference['deliveries_per_sec']:.1f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    if matched == 0:
+        problems.append(
+            "no e2e rows matched the baseline: the regression gate compared "
+            "nothing (size mismatch between run and baseline?)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--output",
+        "--out",
+        dest="output",
+        default=str(REPO_ROOT / "BENCH_e2e.json"),
+        help="path of the JSON summary (default: repo-root BENCH_e2e.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline summary to gate against (e.g. BENCH_e2e.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.4,
+        help="allowed fractional regression vs the baseline (default 0.4; "
+        "macro timings are noisier than the filter micro-bench)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.compare).read_text()) if args.compare else None
+    summary = run(quick=args.quick)
+    summary["generated_unix"] = round(time.time(), 1)
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+    for row in summary["throughput"]:
+        faults = "faulty " if row["faults"] else "perfect"
+        print(
+            f"E2E {faults} subs={row['subscribers']:>6}  "
+            f"{row['items_per_sec']:>9.1f} items/s  "
+            f"{row['deliveries_per_sec']:>11.1f} deliveries/s"
+        )
+    if "speedup_vs_pre_pr_1k" in summary:
+        print(f"speedup vs pre-PR baseline at 1k subscribers: "
+              f"{summary['speedup_vs_pre_pr_1k']}x")
+    print(f"wrote {out_path}")
+    if baseline is not None:
+        problems = compare_to_baseline(summary, baseline, args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print(f"regression gate: within {args.tolerance:.0%} of {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,11 @@ and the script exits non-zero when any matched row's ``items_per_sec``
 regressed by more than ``--tolerance`` (a fraction; 0.25 = 25%).  Quick
 mode measures the same 100/1000 sizes the committed baseline records, so
 the gate works on the smoke run too.
+
+``--suite e2e`` delegates to :mod:`benchmarks.bench_e2e_throughput` (the
+macro publish->deliver->process path, ``BENCH_e2e.json``) with the same
+``--quick/--output/--compare/--tolerance`` contract; the default suite
+stays ``filter`` so existing CI invocations are unchanged.
 """
 
 from __future__ import annotations
@@ -276,14 +281,21 @@ def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite",
+        choices=("filter", "e2e"),
+        default="filter",
+        help="which benchmark suite to run (default: filter)",
+    )
+    parser.add_argument(
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     parser.add_argument(
         "--output",
         "--out",
         dest="output",
-        default=str(REPO_ROOT / "BENCH_filter.json"),
-        help="path of the JSON summary (default: repo-root BENCH_filter.json)",
+        default=None,
+        help="path of the JSON summary (default: repo-root BENCH_filter.json "
+        "or BENCH_e2e.json, per --suite)",
     )
     parser.add_argument(
         "--compare",
@@ -295,10 +307,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.25,
-        help="allowed fractional regression vs the baseline (default 0.25)",
+        default=None,
+        help="allowed fractional regression vs the baseline "
+        "(default 0.25 for the filter suite, 0.4 for e2e)",
     )
     args = parser.parse_args(argv)
+    if args.suite == "e2e":
+        from benchmarks.bench_e2e_throughput import main as e2e_main
+
+        forwarded: list[str] = []
+        if args.quick:
+            forwarded.append("--quick")
+        if args.output:
+            forwarded += ["--output", args.output]
+        if args.compare:
+            forwarded += ["--compare", args.compare]
+        if args.tolerance is not None:
+            forwarded += ["--tolerance", str(args.tolerance)]
+        return e2e_main(forwarded)
+    if args.output is None:
+        args.output = str(REPO_ROOT / "BENCH_filter.json")
+    if args.tolerance is None:
+        args.tolerance = 0.25
     # read the baseline before any output is written: --output may point at
     # the baseline file itself, and a gate comparing a run to its own freshly
     # written summary could never fail

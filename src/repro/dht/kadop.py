@@ -52,6 +52,10 @@ class KadopIndex:
         #: replicates index entries across peers; we model that as a full
         #: mirror from which keys lost to an abrupt node failure are restored.
         self._doc_replicas: dict[str, Element] = {}
+        #: per-document term extraction, computed once at publish time --
+        #: unpublish and failure-time re-replication reuse it instead of
+        #: re-walking the document tree per term key
+        self._doc_terms: dict[str, frozenset[str]] = {}
         self.keys_restored = 0
         # ensure the catalogue of all doc ids exists
         if self.ring.get(_DOCS_KEY)[0] is None:
@@ -111,8 +115,8 @@ class KadopIndex:
                 term = key[len("term:"):]
                 postings = {
                     doc_id
-                    for doc_id, document in self._doc_replicas.items()
-                    if term in self._terms_of_document(document)
+                    for doc_id in self._doc_replicas
+                    if term in self._terms_of(doc_id)
                 }
                 self.ring.put(key, postings)
                 restored += 1
@@ -135,10 +139,12 @@ class KadopIndex:
             doc_id = f"doc{self._doc_count}"
         self.ring.put(f"doc:{doc_id}", document.copy())
         self._doc_replicas[doc_id] = document.copy()
+        terms = frozenset(self._terms_of_document(document))
+        self._doc_terms[doc_id] = terms
         catalogue, _ = self.ring.get(_DOCS_KEY)
         assert isinstance(catalogue, set)
         catalogue.add(doc_id)
-        for term in self._terms_of_document(document):
+        for term in terms:
             self._add_posting(term, doc_id)
         return doc_id
 
@@ -148,7 +154,7 @@ class KadopIndex:
         if document is None:
             return False
         assert isinstance(document, Element)
-        for term in self._terms_of_document(document):
+        for term in self._terms_of(doc_id, document):
             postings, _ = self.ring.get(f"term:{term}")
             if isinstance(postings, set):
                 postings.discard(doc_id)
@@ -157,6 +163,7 @@ class KadopIndex:
             catalogue.discard(doc_id)
         self.ring.remove(f"doc:{doc_id}")
         self._doc_replicas.pop(doc_id, None)
+        self._doc_terms.pop(doc_id, None)
         return True
 
     def document(self, doc_id: str) -> Element | None:
@@ -209,6 +216,22 @@ class KadopIndex:
         postings, _ = self.ring.get(f"term:{term}")
         return set(postings) if isinstance(postings, set) else set()
 
+    def _terms_of(self, doc_id: str, document: Element | None = None) -> frozenset[str]:
+        """Terms of a published document, from the publish-time cache.
+
+        Falls back to re-extracting (and caching) from ``document`` or the
+        replica store for documents indexed before the cache existed.
+        """
+        terms = self._doc_terms.get(doc_id)
+        if terms is None:
+            if document is None:
+                document = self._doc_replicas.get(doc_id)
+            if document is None:
+                return frozenset()
+            terms = frozenset(self._terms_of_document(document))
+            self._doc_terms[doc_id] = terms
+        return terms
+
     @staticmethod
     def _terms_of_document(document: Element) -> set[str]:
         terms: set[str] = set()
@@ -223,9 +246,16 @@ class KadopIndex:
         if not terms:
             catalogue, _ = self.ring.get(_DOCS_KEY)
             return set(catalogue) if isinstance(catalogue, set) else set()
+        # fetch in deterministic term order (lookup accounting stays stable),
+        # then intersect smallest-set-first: the running intersection can
+        # only shrink, so starting from the rarest term minimises the work
+        # and lets an empty prefix short-circuit the rest
         candidate_sets = [self._postings(term) for term in sorted(terms)]
+        candidate_sets.sort(key=len)
         candidates = candidate_sets[0]
         for other in candidate_sets[1:]:
+            if not candidates:
+                return candidates
             candidates &= other
         return candidates
 

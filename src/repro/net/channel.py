@@ -43,10 +43,36 @@ class Channel:
     unsubscribe: object | None = field(default=None, repr=False)
     #: per-subscriber item sequence numbers (exactly-once deduplication)
     next_seq: dict[str, int] = field(default_factory=dict, repr=False)
+    #: memoised ``sorted(subscribers)``; fan-out is per item, (un)subscribes
+    #: are rare, so the sort must not sit on the delivery path
+    _sorted_cache: tuple[str, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def qualified_id(self) -> str:
         return f"#{self.channel_id}@{self.peer_id}"
+
+    def sorted_subscribers(self) -> tuple[str, ...]:
+        """Deterministic fan-out order, cached until the next (un)subscribe."""
+        cached = self._sorted_cache
+        if cached is None:
+            cached = self._sorted_cache = tuple(sorted(self.subscribers))
+        return cached
+
+    def add_subscriber(self, peer_id: str) -> None:
+        if peer_id not in self.subscribers:
+            self.subscribers.add(peer_id)
+            self._sorted_cache = None
+
+    def remove_subscriber(self, peer_id: str) -> None:
+        if peer_id in self.subscribers:
+            self.subscribers.discard(peer_id)
+            self._sorted_cache = None
+
+    def clear_subscribers(self) -> None:
+        self.subscribers.clear()
+        self._sorted_cache = None
 
 
 class RemoteChannelProxy(Stream):
@@ -70,6 +96,27 @@ class RemoteChannelProxy(Stream):
         self.seen_seqs: set[int] = set()
         self._seq_floor = -1  # every seq <= floor counts as already seen
         self.duplicates_dropped = 0
+
+    def receive_remote(self, item: Element) -> None:
+        """Deliver one remote item into the local stream (hot path).
+
+        A leaner :meth:`~repro.streams.stream.Stream.emit`: the channel layer
+        already checked that the proxy is open and only ever hands over
+        Elements, so the guard checks and the per-call stats dispatch are
+        skipped.  Accounting stays identical -- the cached item weight is
+        reused, not re-walked.
+        """
+        stats = self.stats
+        stats.items += 1
+        stats.bytes += item.weight()
+        if self.keep_history:
+            self.history.append(item)
+        subscribers = self._subscribers
+        if len(subscribers) == 1:
+            subscribers[0](item)
+        else:
+            for subscriber in list(subscribers):
+                subscriber(item)
 
     def accept_seq(self, seq: int) -> bool:
         """Record a sequence number; False when it was already delivered.
@@ -112,7 +159,14 @@ class ChannelRegistry:
             )
         channel = Channel(self._peer.peer_id, channel_id, stream)
         self._published[channel_id] = channel
-        channel.unsubscribe = stream.subscribe(lambda item: self._forward(channel, item))
+
+        def forward(item: object) -> None:
+            self._forward(channel, item)
+
+        # advertise the batch entry point so Stream.emit_many hands a burst
+        # over in one call instead of one _forward per item
+        forward.batch = lambda items: self._forward_batch(channel, items)  # type: ignore[attr-defined]
+        channel.unsubscribe = stream.subscribe(forward)
         return channel
 
     def unpublish(self, channel_id: str) -> bool:
@@ -128,9 +182,9 @@ class ChannelRegistry:
         if callable(channel.unsubscribe):
             channel.unsubscribe()
         payload = Element("channelEos", {"channelId": channel.channel_id})
-        for subscriber in sorted(channel.subscribers):
+        for subscriber in channel.sorted_subscribers():
             self._peer.send(subscriber, MSG_EOS, payload)
-        channel.subscribers.clear()
+        channel.clear_subscribers()
         return True
 
     def published(self, channel_id: str) -> Channel:
@@ -151,23 +205,54 @@ class ChannelRegistry:
     def _forward(self, channel: Channel, item: object) -> None:
         if is_eos(item):
             payload = Element("channelEos", {"channelId": channel.channel_id})
-            for subscriber in sorted(channel.subscribers):
+            for subscriber in channel.sorted_subscribers():
                 self._peer.send(subscriber, MSG_EOS, payload)
             return
         assert isinstance(item, Element)
-        for subscriber in sorted(channel.subscribers):
-            seq = channel.next_seq.get(subscriber, 0)
-            channel.next_seq[subscriber] = seq + 1
-            payload = Element(
-                "channelItem",
-                {
-                    "channelId": channel.channel_id,
-                    "publisher": channel.peer_id,
-                    "seq": str(seq),
-                },
-                [item.copy()],
-            )
-            self._peer.send(subscriber, MSG_ITEM, payload)
+        self._forward_batch(channel, [item])
+
+    def _forward_batch(self, channel: Channel, items: list[Element]) -> None:
+        """Fan a burst of items out to every subscriber of ``channel``.
+
+        One message *template* is built per item: the payload tree is copied
+        once and that copy is shared by every subscriber's ``channelItem``
+        wrapper (receivers treat stream items as immutable, and the local
+        stream layer already delivers one object to all local subscribers).
+        Only the thin wrapper -- which carries the per-subscriber sequence
+        number -- is built per message, via the trusted Element constructor.
+        """
+        subscribers = channel.sorted_subscribers()
+        if not subscribers or not items:
+            return
+        next_seq = channel.next_seq
+        channel_id = channel.channel_id
+        publisher_id = channel.peer_id
+        wrap = Element.fast_new
+        sends: list[tuple[str, str, Element]] = []
+        for item in items:
+            shared = item.copy()
+            # group subscribers by their next sequence number: counters
+            # advance in lock-step in steady state, so one wrapper (and one
+            # weight computation) usually serves the entire fan-out; only
+            # subscribers whose counter diverged (late join, prior loss of a
+            # send) get their own wrapper
+            wrappers: dict[int, Element] = {}
+            for subscriber in subscribers:
+                seq = next_seq.get(subscriber, 0)
+                next_seq[subscriber] = seq + 1
+                wrapper = wrappers.get(seq)
+                if wrapper is None:
+                    wrapper = wrappers[seq] = wrap(
+                        "channelItem",
+                        {
+                            "channelId": channel_id,
+                            "publisher": publisher_id,
+                            "seq": str(seq),
+                        },
+                        [shared],
+                    )
+                sends.append((subscriber, MSG_ITEM, wrapper))
+        self._peer.network.send_many(self._peer.peer_id, sends)
 
     # -- subscribing side -----------------------------------------------------
 
@@ -227,25 +312,25 @@ class ChannelRegistry:
             payload = Element("channelEos", {"channelId": channel_id})
             self._peer.send(subscriber, MSG_EOS, payload)
             return
-        channel.subscribers.add(subscriber)
+        channel.add_subscriber(subscriber)
 
     def _on_unsubscribe(self, message) -> None:
         channel_id = message.payload.attrib["channelId"]
         subscriber = message.payload.attrib["subscriber"]
         if channel_id in self._published:
-            self._published[channel_id].subscribers.discard(subscriber)
+            self._published[channel_id].remove_subscriber(subscriber)
 
     def _on_item(self, message) -> None:
-        channel_id = message.payload.attrib["channelId"]
-        publisher = message.payload.attrib["publisher"]
-        proxy = self._proxies.get((publisher, channel_id))
+        payload = message.payload
+        attrib = payload.attrib
+        proxy = self._proxies.get((attrib["publisher"], attrib["channelId"]))
         if proxy is None or proxy.closed:
             return  # late item for an unsubscribed/closed proxy: drop it
-        seq_text = message.payload.attrib.get("seq")
+        seq_text = attrib.get("seq")
         if seq_text is not None and not proxy.accept_seq(int(seq_text)):
             proxy.duplicates_dropped += 1
             return  # a faulty network duplicated this message
-        proxy.emit(message.payload.children[0])
+        proxy.receive_remote(payload.children[0])
 
     def _on_eos(self, message) -> None:
         channel_id = message.payload.attrib["channelId"]

@@ -34,7 +34,6 @@ from __future__ import annotations
 import hashlib
 import heapq
 import random
-from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.net.errors import UnknownPeerError
@@ -46,24 +45,47 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.peer import Peer
 
 
-@dataclass(frozen=True)
 class Message:
-    """One message in flight between two peers."""
+    """One message in flight between two peers.
 
-    source: str
-    destination: str
-    kind: str
-    payload: Element
-    size: int
-    sent_at: float
-    deliver_at: float
+    A plain ``__slots__`` class rather than a dataclass: one instance is
+    created per scheduled delivery, which makes construction cost part of
+    the network's per-message overhead.
+    """
 
+    __slots__ = (
+        "source",
+        "destination",
+        "kind",
+        "payload",
+        "size",
+        "sent_at",
+        "deliver_at",
+    )
 
-@dataclass(order=True)
-class _Event:
-    deliver_at: float
-    sequence: int
-    message: Message = field(compare=False)
+    def __init__(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        payload: Element,
+        size: int,
+        sent_at: float,
+        deliver_at: float,
+    ) -> None:
+        self.source = source
+        self.destination = destination
+        self.kind = kind
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
+        self.deliver_at = deliver_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.source!r}->{self.destination!r}, {self.kind!r}, "
+            f"size={self.size}, deliver_at={self.deliver_at:.6f})"
+        )
 
 
 PeerLifecycleListener = Callable[[str], None]
@@ -102,8 +124,13 @@ class SimNetwork:
         self.stats = NetworkStats()
         self._peers: dict[str, "Peer"] = {}
         self._coordinates: dict[str, tuple[float, float]] = {}
-        self._queue: list[_Event] = []
+        #: heap of (deliver_at, sequence, message); the unique sequence number
+        #: breaks timestamp ties, so messages themselves are never compared
+        self._queue: list[tuple[float, int, Message]] = []
         self._sequence = 0
+        #: memoised per-pair latency; coordinates are fixed at registration,
+        #: so entries only drop when a peer unregisters
+        self._latency_cache: dict[tuple[str, str], float] = {}
         self._trace: list[Message] = []
         self.trace_enabled = False
         #: deterministic, human-readable log of network events (opt-in)
@@ -147,6 +174,8 @@ class SimNetwork:
         self._peers.pop(peer_id, None)
         self._coordinates.pop(peer_id, None)
         self._down.discard(peer_id)
+        # a later re-registration may draw different coordinates
+        self._latency_cache.clear()
 
     def peer(self, peer_id: str) -> "Peer":
         try:
@@ -174,9 +203,15 @@ class SimNetwork:
         return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
 
     def latency(self, source: str, destination: str) -> float:
+        cached = self._latency_cache.get((source, destination))
+        if cached is not None:
+            return cached
         if source == destination:
-            return 0.0
-        return self.base_latency + self.distance(source, destination) / 100.0
+            value = 0.0
+        else:
+            value = self.base_latency + self.distance(source, destination) / 100.0
+        self._latency_cache[(source, destination)] = value
+        return value
 
     # ------------------------------------------------------------------ #
     # Peer lifecycle (fail / revive)
@@ -194,7 +229,8 @@ class SimNetwork:
         if peer_id in self._down:
             return False
         self._down.add(peer_id)
-        self._log(f"fail {peer_id}")
+        if self.record_events:
+            self._log(f"fail {peer_id}")
         for listener in list(self._down_listeners):
             listener(peer_id)
         return True
@@ -206,7 +242,8 @@ class SimNetwork:
         if peer_id not in self._down:
             return False
         self._down.discard(peer_id)
-        self._log(f"revive {peer_id}")
+        if self.record_events:
+            self._log(f"revive {peer_id}")
         for listener in list(self._up_listeners):
             listener(peer_id)
         return True
@@ -260,7 +297,11 @@ class SimNetwork:
             seen |= group
         self._partitions[name] = frozen
         self._held[name] = []
-        self._log(f"partition {name} " + "|".join(",".join(sorted(g)) for g in frozen))
+        if self.record_events:
+            self._log(
+                f"partition {name} "
+                + "|".join(",".join(sorted(g)) for g in frozen)
+            )
 
     def heal(self, name: str) -> int:
         """End a partition; held messages are rescheduled for delivery.
@@ -272,7 +313,8 @@ class SimNetwork:
             return 0
         del self._partitions[name]
         held = self._held.pop(name, [])
-        self._log(f"heal {name} released={len(held)}")
+        if self.record_events:
+            self._log(f"heal {name} released={len(held)}")
         for message in held:
             if (
                 message.source not in self._peers
@@ -280,9 +322,10 @@ class SimNetwork:
             ):
                 # an endpoint left the network while the partition was active;
                 # drop the message like the delivery path does for departed peers
-                self._log(
-                    f"drop peer-gone {message.source}->{message.destination} {message.kind}"
-                )
+                if self.record_events:
+                    self._log(
+                        f"drop peer-gone {message.source}->{message.destination} {message.kind}"
+                    )
                 continue
             self._schedule(
                 message.source,
@@ -338,9 +381,85 @@ class SimNetwork:
             # a failed peer cannot transmit: drop silently (its in-process
             # objects may still try to send during teardown)
             self.messages_dropped_peer_down += 1
-            self._log(f"drop source-down {source}->{destination} {kind}")
+            if self.record_events:
+                self._log(f"drop source-down {source}->{destination} {kind}")
             return self._make_message(source, destination, kind, payload, payload.weight())
         return self._schedule(source, destination, kind, payload, payload.weight())
+
+    def send_many(
+        self, source: str, sends: list[tuple[str, str, Element]]
+    ) -> list[Message]:
+        """Queue a burst of ``(destination, kind, payload)`` sends from one peer.
+
+        Semantically identical to a loop of :meth:`send` calls -- same
+        scheduling, fault draws, stats and trace -- but the source liveness
+        check is hoisted out of the loop, which matters for channel fan-out
+        to thousands of subscribers.
+        """
+        if source not in self._peers:
+            raise UnknownPeerError(f"cannot send from unknown peer {source!r}")
+        if source in self._down:
+            messages = []
+            record = self.record_events
+            for destination, kind, payload in sends:
+                if destination not in self._peers:
+                    raise UnknownPeerError(
+                        f"cannot send to unknown peer {destination!r}"
+                    )
+                self.messages_dropped_peer_down += 1
+                if record:
+                    self._log(f"drop source-down {source}->{destination} {kind}")
+                messages.append(
+                    self._make_message(
+                        source, destination, kind, payload, payload.weight()
+                    )
+                )
+            return messages
+        peers = self._peers
+        messages: list[Message] = []
+        if (
+            self.fault_model is not None
+            or self._partitions
+            or self.trace_enabled
+            or self.record_events
+        ):
+            schedule = self._schedule
+            for destination, kind, payload in sends:
+                if destination not in peers:
+                    raise UnknownPeerError(
+                        f"cannot send to unknown peer {destination!r}"
+                    )
+                messages.append(
+                    schedule(source, destination, kind, payload, payload.weight())
+                )
+            return messages
+        # perfect-network burst: no faults, no partitions, no tracing --
+        # inline the whole schedule step (latency lookup, stats, heap push)
+        now = self.now
+        latency = self.latency
+        stats = self.stats
+        pending = stats._pending
+        queue = self._queue
+        heappush = heapq.heappush
+        sequence = self._sequence
+        total_bytes = 0
+        for destination, kind, payload in sends:
+            if destination not in peers:
+                raise UnknownPeerError(f"cannot send to unknown peer {destination!r}")
+            size = payload.weight()
+            total_bytes += size
+            pending.append((source, destination, size))
+            deliver_at = now + latency(source, destination)
+            message = Message(source, destination, kind, payload, size, now, deliver_at)
+            sequence += 1
+            heappush(queue, (deliver_at, sequence, message))
+            messages.append(message)
+        self._sequence = sequence
+        stats.total_messages += len(messages)
+        stats.total_bytes += total_bytes
+        if len(pending) >= stats.FLUSH_THRESHOLD:
+            stats._flush()
+        return messages
 
     def _make_message(
         self, source: str, destination: str, kind: str, payload: Element, size: int
@@ -372,34 +491,49 @@ class SimNetwork:
             self.stats.record(source, destination, size)
             if self.trace_enabled:
                 self._trace.append(message)
-        blocking = self._blocking_partition(source, destination)
-        if blocking is not None:
-            self.messages_held += 1
-            self._held[blocking].append(message)
-            self._log(f"hold {blocking} {source}->{destination} {kind}")
+        if self._partitions:
+            blocking = self._blocking_partition(source, destination)
+            if blocking is not None:
+                self.messages_held += 1
+                self._held[blocking].append(message)
+                if self.record_events:
+                    self._log(f"hold {blocking} {source}->{destination} {kind}")
+                return message
+        if self.fault_model is None or not apply_faults:
+            # fast path for the perfect network (and for heal-time
+            # reschedules, which model a reliable transport retransmitting
+            # across a temporary split: delayed, never lost or duplicated) --
+            # no fault draws, one copy, straight onto the heap
+            sequence = self._sequence + 1
+            self._sequence = sequence
+            heapq.heappush(self._queue, (message.deliver_at, sequence, message))
             return message
-        delays: list[float] | None = [0.0]
-        if apply_faults and self.fault_model is not None:
-            # heal-time reschedules skip the fault draws: the hold models a
-            # reliable transport retransmitting across a temporary split, so
-            # held messages are delayed, never lost or duplicated
-            delays = self.fault_model.delivery_delays(size, self.runtime_rng)
+        delays = self.fault_model.delivery_delays(size, self.runtime_rng)
         if delays is None:
             self.messages_lost += 1
-            self._log(f"drop loss {source}->{destination} {kind}")
+            if self.record_events:
+                self._log(f"drop loss {source}->{destination} {kind}")
             return message
         if len(delays) > 1:
             self.messages_duplicated += len(delays) - 1
-            self._log(f"dup {source}->{destination} {kind} copies={len(delays)}")
+            if self.record_events:
+                self._log(f"dup {source}->{destination} {kind} copies={len(delays)}")
         first: Message | None = None
         for delay in delays:
-            copy = (
-                message
-                if delay == 0.0
-                else replace(message, deliver_at=message.deliver_at + delay)
-            )
+            if delay == 0.0:
+                copy = message
+            else:
+                copy = Message(
+                    source,
+                    destination,
+                    kind,
+                    payload,
+                    size,
+                    message.sent_at,
+                    message.deliver_at + delay,
+                )
             self._sequence += 1
-            heapq.heappush(self._queue, _Event(copy.deliver_at, self._sequence, copy))
+            heapq.heappush(self._queue, (copy.deliver_at, self._sequence, copy))
             if first is None:
                 first = copy
         assert first is not None
@@ -408,7 +542,8 @@ class SimNetwork:
     def set_fault_model(self, fault_model: FaultModel | None) -> None:
         """Swap the active fault model (``None`` restores the perfect network)."""
         self.fault_model = fault_model
-        self._log(f"faults {fault_model!r}")
+        if self.record_events:
+            self._log(f"faults {fault_model!r}")
 
     @property
     def pending_messages(self) -> int:
@@ -418,38 +553,63 @@ class SimNetwork:
     def trace(self) -> list[Message]:
         return list(self._trace)
 
+    def _deliver_one(self, deliver_at: float, message: Message) -> None:
+        """Advance the clock and deliver (or drop) one dequeued message.
+
+        The single copy of the delivery semantics: both :meth:`step` and the
+        :meth:`run` drain loop funnel through here, so drop rules, logging
+        and handler dispatch cannot diverge between single-stepping and
+        batch draining.
+        """
+        if deliver_at > self.now:
+            self.now = deliver_at
+        destination = message.destination
+        if destination in self._down:
+            self.messages_dropped_peer_down += 1
+            if self.record_events:
+                self._log(
+                    f"drop destination-down {message.source}->{destination} {message.kind}"
+                )
+            return
+        peer = self._peers.get(destination)
+        if peer is not None:  # peer may have left while the message was in flight
+            if self.record_events:
+                self._log(
+                    f"deliver {message.source}->{destination} {message.kind}"
+                )
+            peer.handle_message(message)
+
     def step(self) -> bool:
         """Deliver the next queued message.  Returns False when idle."""
         if not self._queue:
             return False
-        event = heapq.heappop(self._queue)
-        self.now = max(self.now, event.deliver_at)
-        message = event.message
-        if message.destination in self._down:
-            self.messages_dropped_peer_down += 1
-            self._log(
-                f"drop destination-down {message.source}->{message.destination} {message.kind}"
-            )
-            return True
-        peer = self._peers.get(message.destination)
-        if peer is not None:  # peer may have left while the message was in flight
-            self._log(f"deliver {message.source}->{message.destination} {message.kind}")
-            peer.handle_message(message)
+        deliver_at, _, message = heapq.heappop(self._queue)
+        self._deliver_one(deliver_at, message)
         return True
 
     def run(self, max_steps: int | None = None) -> int:
         """Deliver messages until the queue drains (or ``max_steps`` is hit).
 
         Handlers may send further messages; those are processed too.  Returns
-        the number of messages delivered.
+        the number of messages delivered.  The drain loop stays flat -- one
+        heap pop and one :meth:`_deliver_one` call per message -- because it
+        brackets every hop of the delivery path.
         """
+        queue = self._queue
+        heappop = heapq.heappop
+        deliver_one = self._deliver_one
         delivered = 0
-        while self._queue:
+        while queue:
             if max_steps is not None and delivered >= max_steps:
                 break
-            if self.step():
-                delivered += 1
+            deliver_at, _, message = heappop(queue)
+            deliver_one(deliver_at, message)
+            delivered += 1
         return delivered
+
+    def run_until_idle(self, max_steps: int | None = None) -> int:
+        """Drain the queue completely (alias of :meth:`run`, named for intent)."""
+        return self.run(max_steps)
 
     def advance(self, duration: float) -> None:
         """Advance the simulated clock without delivering messages."""

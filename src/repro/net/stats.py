@@ -3,11 +3,16 @@
 The optimisation questions the paper cares about -- "save on data transfers",
 "balance the load", "select a provider that is close and not overloaded" --
 are all answered by reading these counters after running a scenario.
+
+Aggregation is lazy: :meth:`NetworkStats.record` sits on the per-message
+send path, so it only bumps two integers and appends one tuple to a pending
+buffer.  The per-link and per-peer breakdowns are materialised from that
+buffer the first time a read needs them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -22,25 +27,73 @@ class LinkStats:
         self.bytes += size
 
 
-@dataclass
 class NetworkStats:
     """Aggregated counters for the whole simulated network."""
 
-    total_messages: int = 0
-    total_bytes: int = 0
-    links: dict[tuple[str, str], LinkStats] = field(default_factory=dict)
-    per_peer_sent: dict[str, int] = field(default_factory=dict)
-    per_peer_received: dict[str, int] = field(default_factory=dict)
+    __slots__ = (
+        "total_messages",
+        "total_bytes",
+        "_links",
+        "_per_peer_sent",
+        "_per_peer_received",
+        "_pending",
+    )
+
+    def __init__(self) -> None:
+        self.total_messages = 0
+        self.total_bytes = 0
+        self._links: dict[tuple[str, str], LinkStats] = {}
+        self._per_peer_sent: dict[str, int] = {}
+        self._per_peer_received: dict[str, int] = {}
+        self._pending: list[tuple[str, str, int]] = []
+
+    #: pending-buffer size at which record() folds the buffer into the
+    #: aggregate dicts, so a long run that never reads the breakdowns keeps
+    #: memory bounded by O(links + peers), not O(messages)
+    FLUSH_THRESHOLD = 8192
 
     def record(self, source: str, destination: str, size: int) -> None:
+        """Hot path: called once per scheduled message."""
         self.total_messages += 1
         self.total_bytes += size
-        link = self.links.setdefault((source, destination), LinkStats())
-        link.record(size)
-        self.per_peer_sent[source] = self.per_peer_sent.get(source, 0) + 1
-        self.per_peer_received[destination] = (
-            self.per_peer_received.get(destination, 0) + 1
-        )
+        pending = self._pending
+        pending.append((source, destination, size))
+        if len(pending) >= self.FLUSH_THRESHOLD:
+            self._flush()
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        links = self._links
+        sent = self._per_peer_sent
+        received = self._per_peer_received
+        for source, destination, size in pending:
+            link = links.get((source, destination))
+            if link is None:
+                link = links[(source, destination)] = LinkStats()
+            link.messages += 1
+            link.bytes += size
+            sent[source] = sent.get(source, 0) + 1
+            received[destination] = received.get(destination, 0) + 1
+        pending.clear()
+
+    # -- aggregated views (materialise the pending buffer on first read) ----- #
+
+    @property
+    def links(self) -> dict[tuple[str, str], LinkStats]:
+        self._flush()
+        return self._links
+
+    @property
+    def per_peer_sent(self) -> dict[str, int]:
+        self._flush()
+        return self._per_peer_sent
+
+    @property
+    def per_peer_received(self) -> dict[str, int]:
+        self._flush()
+        return self._per_peer_received
 
     def bytes_between(self, source: str, destination: str) -> int:
         link = self.links.get((source, destination))
@@ -62,10 +115,11 @@ class NetworkStats:
 
     def busiest_peer(self) -> str | None:
         """Peer with the highest number of sent+received messages."""
+        self._flush()
         load: dict[str, int] = {}
-        for peer, count in self.per_peer_sent.items():
+        for peer, count in self._per_peer_sent.items():
             load[peer] = load.get(peer, 0) + count
-        for peer, count in self.per_peer_received.items():
+        for peer, count in self._per_peer_received.items():
             load[peer] = load.get(peer, 0) + count
         if not load:
             return None
@@ -74,9 +128,10 @@ class NetworkStats:
     def reset(self) -> None:
         self.total_messages = 0
         self.total_bytes = 0
-        self.links.clear()
-        self.per_peer_sent.clear()
-        self.per_peer_received.clear()
+        self._links.clear()
+        self._per_peer_sent.clear()
+        self._per_peer_received.clear()
+        self._pending.clear()
 
     def snapshot(self) -> dict[str, int]:
         return {"messages": self.total_messages, "bytes": self.total_bytes}

@@ -38,4 +38,4 @@ class ChannelPublisher(Publisher):
 
     def add_subscriber(self, subscriber_peer_id: str) -> None:
         """Register an initial subscriber without a network round-trip."""
-        self.channel.subscribers.add(subscriber_peer_id)
+        self.channel.add_subscriber(subscriber_peer_id)

@@ -8,7 +8,7 @@ top by :mod:`repro.net.channel`, which subscribes a forwarding callback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.streams.item import EOS, is_eos
@@ -23,7 +23,13 @@ class StreamClosedError(RuntimeError):
 
 @dataclass
 class StreamStats:
-    """Counters maintained per stream; benchmarks read these."""
+    """Counters maintained per stream; benchmarks read these.
+
+    ``bytes`` accounting reuses the weight memoised on the
+    :class:`~repro.xmlmodel.tree.Element` itself, so an item that already
+    crossed the network (or another stream) is not walked a second time per
+    emit.
+    """
 
     items: int = 0
     bytes: int = 0
@@ -138,8 +144,16 @@ class Stream:
         self.stats.record(item)
         if self.keep_history:
             self.history.append(item)
-        for subscriber in list(self._subscribers):
-            subscriber(item)
+        subscribers = self._subscribers
+        if len(subscribers) == 1:
+            # common delivery-path shape (channel proxy -> one forwarder):
+            # skip the defensive copy; a lone subscriber that unsubscribes
+            # or subscribes others mid-call sees the same behaviour a
+            # snapshot would give it
+            subscribers[0](item)
+        else:
+            for subscriber in list(subscribers):
+                subscriber(item)
 
     def emit_many(self, items: Iterable[Element]) -> None:
         """Push a burst of XML trees, amortising accounting and fan-out.

@@ -27,7 +27,7 @@ class Element:
         Optional character data directly under this element.
     """
 
-    __slots__ = ("tag", "attrib", "children", "text")
+    __slots__ = ("tag", "attrib", "children", "_text", "_parent", "_weight", "_size")
 
     def __init__(
         self,
@@ -43,10 +43,80 @@ class Element:
             str(k): str(v) for k, v in (attrib or {}).items()
         }
         self.children: list[Element] = list(children or [])
+        self._parent: Element | None = None
+        self._weight: int | None = None
+        self._size: int | None = None
         for child in self.children:
             if not isinstance(child, Element):
                 raise TypeError(f"child must be an Element, got {type(child).__name__}")
-        self.text = text
+            child._parent = self
+        self._text = text
+
+    @classmethod
+    def fast_new(
+        cls,
+        tag: str,
+        attrib: dict[str, str],
+        children: list["Element"],
+        text: str | None = None,
+    ) -> "Element":
+        """Trusted constructor for hot paths (channel fan-out, batch wrappers).
+
+        Skips validation and attribute coercion: ``attrib`` must already map
+        ``str`` to ``str`` and be owned by the new element, ``children`` must
+        be a list of Elements owned by the new element.
+        """
+        node = cls.__new__(cls)
+        node.tag = tag
+        node.attrib = attrib
+        node.children = children
+        node._parent = None
+        node._weight = None
+        node._size = None
+        for child in children:
+            child._parent = node
+        node._text = text
+        return node
+
+    # -- measurement caching ------------------------------------------------- #
+    #
+    # ``weight()`` and ``size()`` memoise per node and are invalidated by every
+    # mutation performed through the Element API (``append``/``extend``/
+    # ``set``/assigning ``text``): the mutated node and its ancestor chain are
+    # cleared, child caches stay valid.  An element is assumed to live in at
+    # most one tree (use :meth:`copy` to attach a subtree elsewhere); code
+    # that mutates ``attrib``/``children`` directly must call
+    # :meth:`invalidate_caches` on the mutated node afterwards.
+
+    @property
+    def text(self) -> str | None:
+        """Character data directly under this element."""
+        return self._text
+
+    @text.setter
+    def text(self, value: str | None) -> None:
+        self._text = value
+        self.invalidate_caches()
+
+    @property
+    def parent(self) -> "Element | None":
+        """The element this node is attached under (``None`` at a root)."""
+        return self._parent
+
+    def invalidate_caches(self) -> None:
+        """Drop cached weight/size here and along the ancestor chain.
+
+        The walk stops early at the first uncached ancestor: a cached node
+        implies its whole subtree is cached, so an uncached node can have no
+        cached ancestors.
+        """
+        node: Element | None = self
+        while node is not None and (
+            node._weight is not None or node._size is not None
+        ):
+            node._weight = None
+            node._size = None
+            node = node._parent
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -57,6 +127,8 @@ class Element:
         if not isinstance(child, Element):
             raise TypeError(f"child must be an Element, got {type(child).__name__}")
         self.children.append(child)
+        child._parent = self
+        self.invalidate_caches()
         return child
 
     def extend(self, children: Iterable["Element"]) -> None:
@@ -66,6 +138,7 @@ class Element:
     def set(self, name: str, value: object) -> None:
         """Set attribute ``name`` to ``str(value)``."""
         self.attrib[str(name)] = str(value)
+        self.invalidate_caches()
 
     def get(self, name: str, default: str | None = None) -> str | None:
         """Return attribute ``name`` or ``default``."""
@@ -110,8 +183,13 @@ class Element:
     # ------------------------------------------------------------------ #
 
     def size(self) -> int:
-        """Number of elements in the subtree rooted here."""
-        return 1 + sum(child.size() for child in self.children)
+        """Number of elements in the subtree rooted here (cached)."""
+        cached = self._size
+        if cached is not None:
+            return cached
+        total = 1 + sum(child.size() for child in self.children)
+        self._size = total
+        return total
 
     def depth(self) -> int:
         """Height of the subtree (a leaf has depth 1)."""
@@ -120,18 +198,26 @@ class Element:
         return 1 + max(child.depth() for child in self.children)
 
     def weight(self) -> int:
-        """Approximate serialised size in bytes.
+        """Approximate serialised size in bytes (cached).
 
         Used by the network simulator to account for transferred data
-        without re-serialising every message.
+        without re-serialising every message.  The first call walks the
+        subtree and memoises at every node; repeated calls -- a 1k-subscriber
+        fan-out accounts the same payload once per message -- are one slot
+        read.  Mutation through the Element API recomputes (see
+        :meth:`invalidate_caches`).
         """
+        cached = self._weight
+        if cached is not None:
+            return cached
         total = 2 * len(self.tag) + 5  # <tag></tag>
         for name, value in self.attrib.items():
             total += len(name) + len(value) + 4
-        if self.text:
-            total += len(self.text)
+        if self._text:
+            total += len(self._text)
         for child in self.children:
             total += child.weight()
+        self._weight = total
         return total
 
     # ------------------------------------------------------------------ #
@@ -139,13 +225,23 @@ class Element:
     # ------------------------------------------------------------------ #
 
     def copy(self) -> "Element":
-        """Deep copy of the subtree."""
-        return Element(
-            self.tag,
-            dict(self.attrib),
-            [child.copy() for child in self.children],
-            self.text,
-        )
+        """Deep copy of the subtree.
+
+        Cached weight/size travel with the copy: a deep copy is structurally
+        identical, so the channel layer's one-copy-per-item fan-out never
+        re-walks the tree for accounting.
+        """
+        node = Element.__new__(Element)
+        node.tag = self.tag
+        node.attrib = dict(self.attrib)
+        node.children = [child.copy() for child in self.children]
+        for child in node.children:
+            child._parent = node
+        node._text = self._text
+        node._parent = None
+        node._weight = self._weight
+        node._size = self._size
+        return node
 
     def structural_key(self) -> tuple:
         """A hashable key identifying the subtree up to structural equality.
