@@ -1,0 +1,399 @@
+#!/usr/bin/env python
+"""Subscription-ingestion throughput: the control-plane fast path.
+
+``BENCH_filter.json`` tracks the data plane's micro path and
+``BENCH_e2e.json`` the macro delivery path; this suite governs the *control*
+plane: what it costs to ingest N overlapping subscriptions (parse ->
+compile -> reuse -> place -> deploy).  The Section 5 reuse algorithm is what
+makes a community of millions of overlapping subscriptions affordable -- but
+only if matching itself is cheap, which is what the indexed
+StreamDefinitionDatabase lookups, the KadoP query cache, the interned plan
+signatures and ``submit_many`` provide.
+
+Two workload mixes, both heavily overlapping (identical subscriptions
+repeat in groups):
+
+* ``meteo`` -- the Figure 1 QoS subscription at five thresholds, cycled;
+* ``edos``  -- per-mirror method filters over the Edos mirrors, six
+  variants, cycled.
+
+Each (mix, size) is measured twice: ``sequential`` (one ``submit()`` per
+subscription) and ``batch`` (one ``submit_many()`` for the lot).  A
+differential run against the XPath oracle (indexes and signature cache
+disabled) refuses to write a summary whose reuse totals or deployed
+operator counts disagree.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py            # full
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick
+    PYTHONPATH=src python benchmarks/bench_ingest.py --churn    # + churn soak
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick \
+        --output /tmp/bench_ingest.json --compare BENCH_ingest.json
+
+``--compare`` matches rows by ``(mix, subscriptions, mode)`` and fails when
+any matched row's ``subs_per_sec`` regressed beyond ``--tolerance``.  Only
+rows with at least :data:`GATE_MIN_SUBSCRIPTIONS` subscriptions are gated:
+the 100-subscription cells finish in tens of milliseconds, where ordinary
+scheduler noise alone exceeds any sane tolerance (they stay in the summary
+for trend-watching, ungated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.monitor.p2pm_peer import P2PMSystem  # noqa: E402
+
+#: Sequential-submit throughput measured immediately before the ingestion
+#: fast path landed (PR 5, same machine/workloads).  Kept here so every
+#: future BENCH_ingest.json carries its speedup-vs-pre-PR factor; the
+#: acceptance criterion for PR 5 was >= 5x subscriptions/sec at the
+#: 1k-subscription overlapping workload.
+PRE_PR_BASELINE = {
+    ("meteo", 100): 319.2,
+    ("meteo", 1000): 109.3,
+    ("meteo", 5000): 22.6,
+    ("edos", 100): 819.4,
+    ("edos", 1000): 387.3,
+    ("edos", 5000): 135.9,
+}
+
+METEO_TEMPLATE = """
+for $c1 in outCOM(<p>a.com</p> <p>b.com</p>),
+    $c2 in inCOM(<p>meteo.com</p>)
+let $duration := $c1.responseTimestamp - $c1.callTimestamp
+where
+    $duration > {threshold} and
+    $c1.callMethod = "GetTemperature" and
+    $c1.callee = "meteo.com" and
+    $c1.callId = $c2.callId
+return
+    <incident type="slowAnswer">
+        <client>{{$c1.caller}}</client>
+        <tstamp>{{$c2.callTimestamp}}</tstamp>
+    </incident>
+by publish as channel "alertQoS";
+"""
+
+EDOS_TEMPLATE = """
+for $c in outCOM(<p>{mirror}</p>)
+where $c.callMethod = "{method}" and $c.callee = "{mirror}"
+return <hit method="{method}"><peer>{{$c.caller}}</peer></hit>
+by publish as channel "edos-{short}-{method}";
+"""
+
+EDOS_MIRRORS = [f"mirror{k}.edos.org" for k in range(3)]
+EDOS_METHODS = ["GetPackage", "QueryIndex"]
+
+#: Smallest row the regression gate compares: smaller cells measure well
+#: under 100ms of wall time, where run-to-run variance swamps real
+#: regressions and the gate would flake.
+GATE_MIN_SUBSCRIPTIONS = 1000
+
+
+def monitored_peers(mix: str) -> list[str]:
+    if mix == "meteo":
+        return ["a.com", "b.com", "meteo.com"]
+    return list(EDOS_MIRRORS)
+
+
+def make_texts(mix: str, n: int) -> list[str]:
+    """N overlapping subscription texts: distinct variants cycled in order."""
+    if mix == "meteo":
+        thresholds = [5, 10, 15, 20, 25]
+        return [
+            METEO_TEMPLATE.format(threshold=thresholds[i % len(thresholds)])
+            for i in range(n)
+        ]
+    texts = []
+    for i in range(n):
+        mirror = EDOS_MIRRORS[i % len(EDOS_MIRRORS)]
+        method = EDOS_METHODS[(i // len(EDOS_MIRRORS)) % len(EDOS_METHODS)]
+        texts.append(
+            EDOS_TEMPLATE.format(mirror=mirror, method=method, short=f"m{i % 3}")
+        )
+    return texts
+
+
+def build_system(mix: str, oracle: bool = False) -> tuple[P2PMSystem, object]:
+    """A fresh system; ``oracle`` disables every ingestion fast path."""
+    system = P2PMSystem(seed=3)
+    for peer_id in monitored_peers(mix):
+        system.add_peer(peer_id)
+    monitor = system.add_peer("monitor.example")
+    if oracle:
+        system.stream_db.use_index = False
+        system.reuse_cache = None  # type: ignore[assignment]
+    return system, monitor
+
+
+def ingest(
+    mix: str, n: int, mode: str, oracle: bool = False
+) -> tuple[P2PMSystem, list, float]:
+    """Deploy ``n`` subscriptions; returns (system, handles, seconds)."""
+    system, monitor = build_system(mix, oracle=oracle)
+    texts = make_texts(mix, n)
+    sub_ids = [f"{mix}-{i}" for i in range(n)]
+    start = time.perf_counter()
+    if mode == "batch":
+        handles = monitor.subscribe_many(texts, sub_ids=sub_ids)
+    else:
+        handles = [
+            monitor.subscribe(text, sub_id=sub_id)
+            for text, sub_id in zip(texts, sub_ids)
+        ]
+    elapsed = time.perf_counter() - start
+    return system, handles, elapsed
+
+
+def ingest_stats(system: P2PMSystem, handles: list) -> dict:
+    reused = sum(h.reuse_report.nodes_reused for h in handles if h.reuse_report)
+    considered = sum(h.reuse_report.nodes_considered for h in handles if h.reuse_report)
+    return {
+        "nodes_reused": reused,
+        "nodes_considered": considered,
+        "reuse_hit_rate": round(reused / considered, 4) if considered else 0.0,
+        "operators_deployed": sum(h.operator_count for h in handles),
+        "signature_cache_hits": (
+            system.reuse_cache.hits if system.reuse_cache is not None else 0
+        ),
+        "kadop_query_cache_hit_rate": round(
+            system.kadop.query_cache_hits
+            / max(system.kadop.query_cache_hits + system.kadop.query_cache_misses, 1),
+            4,
+        ),
+    }
+
+
+def measure(mix: str, n: int, mode: str) -> dict:
+    system, handles, elapsed = ingest(mix, n, mode)
+    row = {
+        "experiment": "INGEST",
+        "mix": mix,
+        "subscriptions": n,
+        "mode": mode,
+        "seconds": round(elapsed, 6),
+        "subs_per_sec": round(n / elapsed, 1),
+    }
+    row.update(ingest_stats(system, handles))
+    return row
+
+
+def oracle_check(mix: str, n: int) -> dict:
+    """Fast path vs XPath oracle: reuse totals and operators must agree."""
+    fast_system, fast_handles, _ = ingest(mix, n, "batch")
+    oracle_system, oracle_handles, _ = ingest(mix, n, "sequential", oracle=True)
+    fast = ingest_stats(fast_system, fast_handles)
+    oracle = ingest_stats(oracle_system, oracle_handles)
+    fast_ops = [h.operator_count for h in fast_handles]
+    oracle_ops = [h.operator_count for h in oracle_handles]
+    agree = (
+        fast["nodes_reused"] == oracle["nodes_reused"]
+        and fast["nodes_considered"] == oracle["nodes_considered"]
+        and fast_ops == oracle_ops
+    )
+    problems = fast_system.stream_db.verify_index_coherence()
+    return {
+        "mix": mix,
+        "subscriptions": n,
+        "agrees_with_oracle": agree,
+        "index_coherent": not problems,
+        "fast": {key: fast[key] for key in ("nodes_reused", "nodes_considered")},
+        "oracle": {key: oracle[key] for key in ("nodes_reused", "nodes_considered")},
+        "operators_deployed": sum(fast_ops),
+        "oracle_operators_deployed": sum(oracle_ops),
+    }
+
+
+def churn_soak(waves: int = 4, per_wave: int = 50) -> dict:
+    """Ingest under peer churn and verify the reuse indexes stay coherent.
+
+    Between waves one Edos mirror fails abruptly (the DHT re-replicates its
+    keys, recovery redeploys spanning subscriptions) and later revives; each
+    wave only subscribes against currently-alive mirrors.  After every
+    transition the secondary indexes are checked against the document store.
+    """
+    system, monitor = build_system("edos")
+    total = 0
+    checks = 0
+    for wave in range(waves):
+        victim = EDOS_MIRRORS[wave % len(EDOS_MIRRORS)]
+        alive = [m for m in EDOS_MIRRORS if m != victim]
+        texts = []
+        for i in range(per_wave):
+            mirror = alive[i % len(alive)]
+            method = EDOS_METHODS[i % len(EDOS_METHODS)]
+            texts.append(
+                EDOS_TEMPLATE.format(
+                    mirror=mirror, method=method, short=f"w{wave}-{i % len(alive)}"
+                )
+            )
+        system.fail_peer(victim)
+        problems = system.stream_db.verify_index_coherence()
+        if problems:
+            raise AssertionError(f"index incoherent after failing {victim}: {problems}")
+        checks += 1
+        monitor.subscribe_many(texts, sub_ids=[f"churn-{wave}-{i}" for i in range(per_wave)])
+        total += per_wave
+        system.revive_peer(victim)
+        problems = system.stream_db.verify_index_coherence()
+        if problems:
+            raise AssertionError(f"index incoherent after reviving {victim}: {problems}")
+        checks += 1
+    system.run()
+    return {
+        "waves": waves,
+        "subscriptions": total,
+        "coherence_checks": checks,
+        "index_coherent": True,
+    }
+
+
+def run(quick: bool = False, churn: bool = False) -> dict:
+    sizes = [100, 1000] if quick else [100, 1000, 5000]
+    rows: list[dict] = []
+    for mix in ("meteo", "edos"):
+        for n in sizes:
+            for mode in ("sequential", "batch"):
+                rows.append(measure(mix, n, mode))
+    oracle_n = 1000
+    checks = [oracle_check(mix, oracle_n) for mix in ("meteo", "edos")]
+    for check in checks:
+        if not check["agrees_with_oracle"]:
+            raise AssertionError(
+                f"ingestion fast path disagrees with the XPath oracle: {check}"
+            )
+        if not check["index_coherent"]:
+            raise AssertionError(f"secondary indexes incoherent: {check}")
+    summary: dict = {
+        "suite": "ingest",
+        "quick": quick,
+        "throughput": rows,
+        "oracle_check": checks,
+        "pre_pr_baseline": {
+            f"{mix}_subs_per_sec_at_{n}": rate
+            for (mix, n), rate in PRE_PR_BASELINE.items()
+        },
+    }
+    row_1k = next(
+        (r for r in rows if r["mix"] == "meteo" and r["subscriptions"] == 1000
+         and r["mode"] == "batch"),
+        None,
+    )
+    if row_1k is not None:
+        summary["speedup_vs_pre_pr_meteo_1k"] = round(
+            row_1k["subs_per_sec"] / PRE_PR_BASELINE[("meteo", 1000)], 2
+        )
+    if churn:
+        summary["churn_soak"] = churn_soak()
+    return summary
+
+
+def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Rows matched by (mix, subscriptions, mode); regression when
+    ``subs_per_sec`` falls more than ``tolerance`` below the baseline row.
+    Rows below :data:`GATE_MIN_SUBSCRIPTIONS` are informational only."""
+    problems: list[str] = []
+    matched = 0
+    baseline_rows = {
+        (row["mix"], row["subscriptions"], row["mode"]): row
+        for row in baseline.get("throughput", [])
+    }
+    for row in summary.get("throughput", []):
+        if row["subscriptions"] < GATE_MIN_SUBSCRIPTIONS:
+            continue
+        reference = baseline_rows.get((row["mix"], row["subscriptions"], row["mode"]))
+        if reference is None:
+            continue
+        matched += 1
+        floor = reference["subs_per_sec"] * (1.0 - tolerance)
+        if row["subs_per_sec"] < floor:
+            problems.append(
+                f"ingest[{row['mix']},subs={row['subscriptions']},{row['mode']}]: "
+                f"{row['subs_per_sec']:.1f} subs/s is below {floor:.1f} "
+                f"(baseline {reference['subs_per_sec']:.1f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    if matched == 0:
+        problems.append(
+            "no ingest rows matched the baseline: the regression gate compared "
+            "nothing (size mismatch between run and baseline?)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="also run the churn soak (index coherence under peer failures)",
+    )
+    parser.add_argument(
+        "--output",
+        "--out",
+        dest="output",
+        default=str(REPO_ROOT / "BENCH_ingest.json"),
+        help="path of the JSON summary (default: repo-root BENCH_ingest.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline summary to gate against (e.g. BENCH_ingest.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.4,
+        help="allowed fractional regression vs the baseline (default 0.4; "
+        "end-to-end control-plane timings are noisy in CI)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.compare).read_text()) if args.compare else None
+    summary = run(quick=args.quick, churn=args.churn)
+    summary["generated_unix"] = round(time.time(), 1)
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+    for row in summary["throughput"]:
+        print(
+            f"INGEST {row['mix']:<6} {row['mode']:<10} "
+            f"subs={row['subscriptions']:>5}  {row['subs_per_sec']:>8.1f} subs/s  "
+            f"reuse {row['reuse_hit_rate']:.1%}  ops={row['operators_deployed']}"
+        )
+    if "speedup_vs_pre_pr_meteo_1k" in summary:
+        print(
+            "speedup vs pre-PR baseline at 1k meteo subscriptions: "
+            f"{summary['speedup_vs_pre_pr_meteo_1k']}x"
+        )
+    if "churn_soak" in summary:
+        soak = summary["churn_soak"]
+        print(
+            f"churn soak: {soak['subscriptions']} subscriptions over "
+            f"{soak['waves']} failure/revival waves, "
+            f"{soak['coherence_checks']} coherence checks passed"
+        )
+    print(f"wrote {out_path}")
+    if baseline is not None:
+        problems = compare_to_baseline(summary, baseline, args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print(f"regression gate: within {args.tolerance:.0%} of {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

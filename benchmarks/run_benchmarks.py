@@ -29,7 +29,9 @@ mode measures the same 100/1000 sizes the committed baseline records, so
 the gate works on the smoke run too.
 
 ``--suite e2e`` delegates to :mod:`benchmarks.bench_e2e_throughput` (the
-macro publish->deliver->process path, ``BENCH_e2e.json``) with the same
+macro publish->deliver->process path, ``BENCH_e2e.json``) and ``--suite
+ingest`` to :mod:`benchmarks.bench_ingest` (the control-plane subscription
+ingestion path, ``BENCH_ingest.json``), both with the same
 ``--quick/--output/--compare/--tolerance`` contract; the default suite
 stays ``filter`` so existing CI invocations are unchanged.
 """
@@ -282,7 +284,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("filter", "e2e"),
+        choices=("filter", "e2e", "ingest"),
         default="filter",
         help="which benchmark suite to run (default: filter)",
     )
@@ -309,11 +311,14 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help="allowed fractional regression vs the baseline "
-        "(default 0.25 for the filter suite, 0.4 for e2e)",
+        "(default 0.25 for the filter suite, 0.4 for e2e and ingest)",
     )
     args = parser.parse_args(argv)
-    if args.suite == "e2e":
-        from benchmarks.bench_e2e_throughput import main as e2e_main
+    if args.suite in ("e2e", "ingest"):
+        if args.suite == "e2e":
+            from benchmarks.bench_e2e_throughput import main as suite_main
+        else:
+            from benchmarks.bench_ingest import main as suite_main
 
         forwarded: list[str] = []
         if args.quick:
@@ -324,7 +329,7 @@ def main(argv: list[str] | None = None) -> int:
             forwarded += ["--compare", args.compare]
         if args.tolerance is not None:
             forwarded += ["--tolerance", str(args.tolerance)]
-        return e2e_main(forwarded)
+        return suite_main(forwarded)
     if args.output is None:
         args.output = str(REPO_ROOT / "BENCH_filter.json")
     if args.tolerance is None:

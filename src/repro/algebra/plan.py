@@ -9,8 +9,11 @@ stream processors; the root is normally a publisher.  Each node carries a
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from repro.xmlmodel.serialize import to_xml
 
 # Node kinds
 ALERTER = "alerter"
@@ -26,14 +29,25 @@ PUBLISH = "publish"
 KINDS = (ALERTER, EXISTING, FILTER, UNION, JOIN, RESTRUCTURE, DISTINCT, GROUP, PUBLISH)
 
 
-@dataclass
+@dataclass(slots=True)
 class PlanNode:
-    """One operator of a monitoring plan."""
+    """One operator of a monitoring plan.
+
+    Nodes are slotted: reuse probing touches every node of every submitted
+    plan, so the per-node footprint and attribute-lookup cost matter.
+    ``params`` is treated as immutable after construction (rewrites build new
+    nodes or swap whole ``children`` lists instead), which is what makes the
+    cached signature detail and operator spec below safe.
+    """
 
     kind: str
     params: dict = field(default_factory=dict)
     children: list["PlanNode"] = field(default_factory=list)
     placement: str | None = None
+    #: cached :func:`signature_detail` / operator-spec fingerprint; carried by
+    #: :meth:`copy` (same params => same detail), never compared or shown
+    _detail: str | None = field(default=None, repr=False, compare=False)
+    _spec: str | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -64,6 +78,8 @@ class PlanNode:
             dict(self.params),
             [child.copy() for child in self.children],
             self.placement,
+            self._detail,
+            self._spec,
         )
 
     # -- placement ----------------------------------------------------------------
@@ -114,8 +130,22 @@ def plan_signature(node: PlanNode) -> str:
     *original* source streams, never replicas, matching Section 5.
     """
     children = ",".join(plan_signature(child) for child in node.children)
-    detail = _signature_detail(node)
-    return f"{node.kind}[{detail}]({children})"
+    return f"{node.kind}[{signature_detail(node)}]({children})"
+
+
+def signature_detail(node: PlanNode) -> str:
+    """The node's own parameter fingerprint, memoised per node.
+
+    Safe because ``params`` never mutates after construction; the cache is
+    what keeps :func:`plan_signature` and the Stream Definition Database's
+    ``operator_spec`` cheap when the reuse pass probes every node of every
+    incoming subscription.
+    """
+    detail = node._detail
+    if detail is None:
+        detail = _signature_detail(node)
+        node._detail = detail
+    return detail
 
 
 def _signature_detail(node: PlanNode) -> str:
@@ -132,18 +162,35 @@ def _signature_detail(node: PlanNode) -> str:
         complex_parts = ";".join(
             sorted(query.expression for query in subscription.complex_queries)
         )
-        return f"{simple}|{complex_parts}"
+        # computed (LET-derived) conditions select items too: leaving them out
+        # would let reuse conflate filters that differ only in, say, a
+        # threshold, silently serving one subscription the other's stream
+        computed = ";".join(sorted(str(condition) for condition in subscription.computed))
+        return f"{simple}|{complex_parts}|{computed}"
     if node.kind == JOIN:
         predicate = params.get("predicate", [])
         pairs = ";".join(sorted(f"{left}={right}" for left, right in predicate))
-        return pairs
+        # the history window bounds which pairs can meet: joins differing
+        # only in it compute different streams and must not be conflated
+        return f"{pairs}|w={params.get('window')}"
     if node.kind == RESTRUCTURE:
         template = params.get("template")
-        return template.skeleton.tag if template is not None else ""
+        if template is None:
+            return ""
+        # fingerprint the whole skeleton (holes included): templates sharing
+        # a root tag but emitting different trees are different restructures
+        serialized = to_xml(template.skeleton)
+        return hashlib.sha1(serialized.encode("utf-8")).hexdigest()[:12]
     if node.kind == DISTINCT:
         return str(params.get("criterion", "structural"))
     if node.kind == GROUP:
-        return str(params.get("key", ""))
+        return f"{params.get('key', '')}|e={params.get('every')}"
     if node.kind == PUBLISH:
-        return f"{params.get('mode', 'channel')}:{params.get('target', '')}"
+        mode = params.get("mode", "channel")
+        if mode == "local":
+            # a local publish target is the subscription id -- a label, not a
+            # parameter of the computed stream; keying on it would make every
+            # locally-consumed subscription's signature unique
+            return "local"
+        return f"{mode}:{params.get('target', '')}"
     return ""

@@ -15,7 +15,7 @@ candidates before structural verification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.dht.chord import ChordRing
 from repro.xmlmodel.tree import Element
@@ -36,7 +36,17 @@ class MembershipEvent:
 
 MembershipListener = Callable[[MembershipEvent], None]
 
+#: ``listener(kind, doc_id, document)`` with kind ``"publish"`` or
+#: ``"unpublish"``.  Secondary indexes over the document store (the Stream
+#: Definition Database's in-memory indexes) subscribe here so they stay
+#: coherent no matter who publishes into the index.
+DocumentListener = Callable[[str, str, Element], None]
+
 _DOCS_KEY = "__all_documents__"
+
+#: Bound on the per-query caches; generated queries embed peer/stream ids, so
+#: a long churny run could otherwise grow them without limit.
+_QUERY_CACHE_LIMIT = 4096
 
 
 class KadopIndex:
@@ -48,6 +58,16 @@ class KadopIndex:
             self.ring.join("kadop-seed")
         self._doc_count = 0
         self._membership_listeners: list[MembershipListener] = []
+        self._document_listeners: list[DocumentListener] = []
+        #: query-result cache keyed on the canonical query string; any
+        #: mutation of the document store (publish, unpublish, failure-time
+        #: key restoration) invalidates it wholesale
+        self._query_cache: dict[str, list[tuple[str, Element]]] = {}
+        #: per-query term derivation -- depends only on the query text, so it
+        #: survives document-store mutations
+        self._query_terms: dict[str, frozenset[str]] = {}
+        self.query_cache_hits = 0
+        self.query_cache_misses = 0
         #: replica store of every published document, keyed by doc id.  KadoP
         #: replicates index entries across peers; we model that as a full
         #: mirror from which keys lost to an abrupt node failure are restored.
@@ -95,6 +115,7 @@ class KadopIndex:
             lost = self.ring.fail(peer_id)
             restored = self._restore_keys(lost)
             self.keys_restored += restored
+            self._query_cache.clear()
         self._notify(MembershipEvent("leave", peer_id))
         return restored
 
@@ -130,6 +151,14 @@ class KadopIndex:
         for listener in list(self._membership_listeners):
             listener(event)
 
+    def subscribe_documents(self, listener: DocumentListener) -> None:
+        """Register a callback invoked on every document publish/unpublish."""
+        self._document_listeners.append(listener)
+
+    def _notify_documents(self, kind: str, doc_id: str, document: Element) -> None:
+        for listener in list(self._document_listeners):
+            listener(kind, doc_id, document)
+
     # -- publication ---------------------------------------------------------------
 
     def publish(self, document: Element, doc_id: str | None = None) -> str:
@@ -138,7 +167,8 @@ class KadopIndex:
             self._doc_count += 1
             doc_id = f"doc{self._doc_count}"
         self.ring.put(f"doc:{doc_id}", document.copy())
-        self._doc_replicas[doc_id] = document.copy()
+        mirror = document.copy()
+        self._doc_replicas[doc_id] = mirror
         terms = frozenset(self._terms_of_document(document))
         self._doc_terms[doc_id] = terms
         catalogue, _ = self.ring.get(_DOCS_KEY)
@@ -146,6 +176,8 @@ class KadopIndex:
         catalogue.add(doc_id)
         for term in terms:
             self._add_posting(term, doc_id)
+        self._query_cache.clear()
+        self._notify_documents("publish", doc_id, mirror)
         return doc_id
 
     def unpublish(self, doc_id: str) -> bool:
@@ -162,8 +194,10 @@ class KadopIndex:
         if isinstance(catalogue, set):
             catalogue.discard(doc_id)
         self.ring.remove(f"doc:{doc_id}")
-        self._doc_replicas.pop(doc_id, None)
+        mirror = self._doc_replicas.pop(doc_id, None)
         self._doc_terms.pop(doc_id, None)
+        self._query_cache.clear()
+        self._notify_documents("unpublish", doc_id, mirror if mirror is not None else document)
         return True
 
     def document(self, doc_id: str) -> Element | None:
@@ -178,8 +212,27 @@ class KadopIndex:
     # -- querying ---------------------------------------------------------------------
 
     def query(self, query: str | XPath) -> list[tuple[str, Element]]:
-        """Return ``(doc_id, document)`` pairs whose document matches ``query``."""
+        """Return ``(doc_id, document)`` pairs whose document matches ``query``.
+
+        Results are cached per canonical query string until the document
+        store next mutates, so repeated control-plane probes (the Reuse
+        algorithm re-asking the same Stream Definition Database questions)
+        cost one dict lookup instead of a posting-list intersection plus a
+        structural verification per candidate.
+        """
         path = XPath.compile(query) if isinstance(query, str) else query
+        cached = self._query_cache.get(path.expression)
+        if cached is not None:
+            self.query_cache_hits += 1
+            return list(cached)
+        self.query_cache_misses += 1
+        results = self._query_uncached(path)
+        if len(self._query_cache) >= _QUERY_CACHE_LIMIT:
+            self._query_cache.clear()
+        self._query_cache[path.expression] = results
+        return list(results)
+
+    def _query_uncached(self, path: XPath) -> list[tuple[str, Element]]:
         candidates = self._candidate_doc_ids(path)
         results: list[tuple[str, Element]] = []
         for doc_id in sorted(candidates):
@@ -189,10 +242,15 @@ class KadopIndex:
         return results
 
     def query_lookup_cost(self, query: str | XPath) -> dict[str, float]:
-        """Run a query and report the DHT routing cost it incurred."""
+        """Run a query and report the DHT routing cost it incurred.
+
+        Bypasses the query-result cache: this probe exists to measure the
+        routing work a cold query costs, not the cache's hit path.
+        """
+        path = XPath.compile(query) if isinstance(query, str) else query
         before_lookups = self.ring.lookup_count
         before_hops = self.ring.total_hops
-        results = self.query(query)
+        results = self._query_uncached(path)
         lookups = self.ring.lookup_count - before_lookups
         hops = self.ring.total_hops - before_hops
         return {
@@ -242,7 +300,12 @@ class KadopIndex:
         return terms
 
     def _candidate_doc_ids(self, path: XPath) -> set[str]:
-        terms = _terms_of_query(path)
+        terms = self._query_terms.get(path.expression)
+        if terms is None:
+            terms = frozenset(_terms_of_query(path))
+            if len(self._query_terms) >= _QUERY_CACHE_LIMIT:
+                self._query_terms.clear()
+            self._query_terms[path.expression] = terms
         if not terms:
             catalogue, _ = self.ring.get(_DOCS_KEY)
             return set(catalogue) if isinstance(catalogue, set) else set()

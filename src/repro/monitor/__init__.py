@@ -27,10 +27,10 @@ from repro.monitor.lifecycle import DeliveryValve, ResourceLedger, ResultBuffer
 from repro.monitor.optimizer import optimize_plan
 from repro.monitor.placement import place_plan
 from repro.monitor.recovery import RecoveryEvent, RecoveryManager, prune_dead_sources
-from repro.monitor.reuse import ReuseEngine, ReuseReport
+from repro.monitor.reuse import ReuseEngine, ReuseReport, ReuseSignatureCache
 from repro.monitor.deployment import DeployedTask, Deployer
 from repro.monitor.handle import SubscriptionHandle
-from repro.monitor.manager import SubscriptionManager
+from repro.monitor.manager import SubmitManyError, SubscriptionManager
 from repro.monitor.p2pm_peer import P2PMPeer, P2PMSystem
 
 __all__ = [
@@ -54,6 +54,8 @@ __all__ = [
     "place_plan",
     "ReuseEngine",
     "ReuseReport",
+    "ReuseSignatureCache",
+    "SubmitManyError",
     "DeployedTask",
     "Deployer",
     "SubscriptionHandle",

@@ -14,7 +14,7 @@ recorded in the Subscription Database.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.monitor.deployment import Deployer
 from repro.monitor.handle import SubscriptionHandle
@@ -38,6 +38,25 @@ from repro.p2pml.parser import parse_subscription
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.monitor.p2pm_peer import P2PMPeer
+
+
+class SubmitManyError(RuntimeError):
+    """A batch submission failed partway through.
+
+    Entries before :attr:`index` were fully deployed and **stay live**;
+    their handles are on :attr:`handles` so the caller can keep or cancel
+    them.  The failing entry itself left no record behind (a failed
+    deployment never leaves a phantom), and the entries after it were not
+    attempted.  The original error is chained as ``__cause__``.
+    """
+
+    def __init__(self, index: int, handles: list[SubscriptionHandle], cause: BaseException):
+        super().__init__(
+            f"batch submission failed at entry {index} "
+            f"({len(handles)} earlier entries deployed and still live): {cause}"
+        )
+        self.index = index
+        self.handles = handles
 
 
 class SubscriptionManager:
@@ -67,9 +86,95 @@ class SubscriptionManager:
         readable through ``handle.results()``; without it results are
         consumed via ``handle.on_result()`` or the configured publisher.
         """
+        return self._submit_one(
+            subscription,
+            sub_id,
+            engine=self._reuse_engine() if reuse else None,
+            deployer=self._deployer(),
+            push_selections=push_selections,
+            max_results=max_results,
+        )
+
+    def submit_many(
+        self,
+        subscriptions: Sequence[str | SubscriptionAST | SubscriptionBuilder],
+        sub_ids: Sequence[str] | None = None,
+        reuse: bool = True,
+        push_selections: bool = True,
+        max_results: int | None = None,
+    ) -> list[SubscriptionHandle]:
+        """Batch ingestion: deploy many subscriptions through one shared context.
+
+        Equivalent to calling :meth:`submit` in a loop (same handles in the
+        same order, same reuse reports, same deployed operators), but the
+        whole batch shares one parse cache, one reuse engine (and with it
+        the system-wide signature cache), and one deployer, so overlapping
+        subscriptions pay the discovery/reuse machinery once instead of once
+        each.  Later entries reuse streams deployed by earlier entries of
+        the same batch, exactly as sequential submission would.
+
+        A failing entry fails alone: earlier entries stay deployed, and the
+        raised :class:`SubmitManyError` carries their handles (and the
+        failing index) so the caller can keep or cancel them.
+        """
+        if sub_ids is not None and len(sub_ids) != len(subscriptions):
+            raise ValueError(
+                f"sub_ids has {len(sub_ids)} entries for "
+                f"{len(subscriptions)} subscriptions"
+            )
+        engine = self._reuse_engine() if reuse else None
+        deployer = self._deployer()
+        ast_cache: dict[str, SubscriptionAST] = {}
+        handles: list[SubscriptionHandle] = []
+        for index, subscription in enumerate(subscriptions):
+            try:
+                handles.append(
+                    self._submit_one(
+                        subscription,
+                        sub_ids[index] if sub_ids is not None else None,
+                        engine=engine,
+                        deployer=deployer,
+                        push_selections=push_selections,
+                        max_results=max_results,
+                        ast_cache=ast_cache,
+                    )
+                )
+            except Exception as exc:
+                # the already-deployed prefix must not vanish with the
+                # traceback: hand its handles to the caller with the error
+                raise SubmitManyError(index, handles, exc) from exc
+        return handles
+
+    def _reuse_engine(self) -> ReuseEngine:
+        system = self.peer.system
+        return ReuseEngine(
+            system.stream_db,
+            network=system.network,
+            consumer_peer=self.peer.peer_id,
+            signature_cache=system.reuse_cache,
+        )
+
+    def _deployer(self) -> Deployer:
+        system = self.peer.system
+        return Deployer(system, publish_replicas=system.publish_replicas)
+
+    def _submit_one(
+        self,
+        subscription: str | SubscriptionAST | SubscriptionBuilder,
+        sub_id: str | None,
+        engine: ReuseEngine | None,
+        deployer: Deployer,
+        push_selections: bool,
+        max_results: int | None,
+        ast_cache: dict[str, SubscriptionAST] | None = None,
+    ) -> SubscriptionHandle:
         if isinstance(subscription, str):
             text: str | None = subscription
-            ast = parse_subscription(subscription)
+            ast = ast_cache.get(subscription) if ast_cache is not None else None
+            if ast is None:
+                ast = parse_subscription(subscription)
+                if ast_cache is not None:
+                    ast_cache[subscription] = ast
         elif isinstance(subscription, SubscriptionBuilder):
             text = None
             ast = subscription.build()
@@ -82,13 +187,10 @@ class SubscriptionManager:
         plan = optimize_plan(plan, push_selections=push_selections)
 
         reuse_report = None
-        if reuse:
-            engine = ReuseEngine(
-                self.peer.system.stream_db,
-                network=self.peer.system.network,
-                consumer_peer=self.peer.peer_id,
-            )
-            plan, reuse_report = engine.apply(plan)
+        if engine is not None:
+            # the optimiser handed us a fresh tree: rewrite it in place
+            # instead of copying it once more per subscription
+            plan, reuse_report = engine.apply(plan, in_place=True)
 
         # a subscription submitted while peers are down must not place
         # movable operators on them (recovery redeploys the same way)
@@ -109,9 +211,6 @@ class SubscriptionManager:
         self.database.add(record)
 
         try:
-            deployer = Deployer(
-                self.peer.system, publish_replicas=self.peer.system.publish_replicas
-            )
             task = deployer.deploy(
                 plan, sub_id, manager_peer=self.peer.peer_id, max_results=max_results
             )
@@ -188,9 +287,7 @@ class SubscriptionManager:
                 load=self.peer.system.placement_load,
                 avoid=down,
             )
-            deployer = Deployer(
-                self.peer.system, publish_replicas=self.peer.system.publish_replicas
-            )
+            deployer = self._deployer()
             # each redeployment gets a fresh stream-id epoch, so stale control
             # messages of the dead incarnation cannot reach its replacement
             epoch = int(record.notes.get("recovery_epoch", 0)) + 1
@@ -274,4 +371,4 @@ class SubscriptionManager:
         )
 
 
-__all__ = ["SubscriptionManager", "SubscriptionStateError"]
+__all__ = ["SubmitManyError", "SubscriptionManager", "SubscriptionStateError"]

@@ -17,6 +17,7 @@ from repro.dht.kadop import KadopIndex
 from repro.monitor.lifecycle import ResourceLedger
 from repro.monitor.manager import SubscriptionManager
 from repro.monitor.recovery import RecoveryManager
+from repro.monitor.reuse import ReuseSignatureCache
 from repro.monitor.stream_db import StreamDefinitionDatabase
 from repro.net.faults import FaultModel
 from repro.net.peer import Peer
@@ -39,6 +40,10 @@ class P2PMSystem:
         self.network = SimNetwork(seed=seed, fault_model=fault_model)
         self.kadop = KadopIndex(ChordRing())
         self.stream_db = StreamDefinitionDatabase(self.kadop)
+        #: interned reuse outcomes shared by every peer's subscription
+        #: manager: identical subscriptions short-circuit straight to their
+        #: matched plan while the Stream Definition Database is unchanged
+        self.reuse_cache = ReuseSignatureCache()
         #: refcounted registry of deployed resources; cancellation releases
         #: references and tears down what nothing else holds (Section 5 reuse)
         self.resources = ResourceLedger()
@@ -168,6 +173,16 @@ class P2PMPeer:
         result buffer readable via ``handle.results()``.
         """
         return self.manager.submit(subscription, sub_id=sub_id, **options)
+
+    def subscribe_many(self, subscriptions, sub_ids=None, **options):
+        """Submit a batch of subscriptions through one shared ingestion context.
+
+        Equivalent to calling :meth:`subscribe` per entry (same handles in
+        the same order), but discovery, reuse and deployment state are
+        shared across the batch -- see
+        :meth:`~repro.monitor.manager.SubscriptionManager.submit_many`.
+        """
+        return self.manager.submit_many(subscriptions, sub_ids=sub_ids, **options)
 
     # -- alerter hosting -----------------------------------------------------------------
 

@@ -29,7 +29,7 @@ from repro.algebra.plan import (
     RESTRUCTURE,
     UNION,
     PlanNode,
-    plan_signature,
+    signature_detail,
 )
 from repro.dht.kadop import KadopIndex
 from repro.xmlmodel.tree import Element
@@ -53,13 +53,19 @@ def operator_spec(node: PlanNode) -> str:
 
     Two nodes with the same kind, the same spec and operand-equal children
     compute the same stream; the spec is stored on the operator element so
-    that reuse queries can require it.
+    that reuse queries can require it.  The spec is memoised per node (and
+    carried by ``PlanNode.copy``): the reuse pass computes it for every
+    probed node, and ``params`` never mutates after construction.
     """
-    signature = plan_signature(PlanNode(node.kind, dict(node.params), []))
-    return hashlib.sha1(signature.encode("utf-8")).hexdigest()[:12]
+    spec = node._spec
+    if spec is None:
+        signature = f"{node.kind}[{signature_detail(node)}]()"
+        spec = hashlib.sha1(signature.encode("utf-8")).hexdigest()[:12]
+        node._spec = spec
+    return spec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamDescription:
     """Decoded view of one ``<Stream>`` document."""
 
@@ -76,13 +82,46 @@ class StreamDescription:
 
 
 class StreamDefinitionDatabase:
-    """Publish and query stream descriptions over the DHT-backed index."""
+    """Publish and query stream descriptions over the DHT-backed index.
 
-    def __init__(self, index: KadopIndex | None = None) -> None:
+    The XPath queries of Section 5 stay available (``find_*_oracle``), but
+    the default lookup path is a set of in-memory secondary indexes over the
+    document store -- (operator, operand-set), (peer, alerter kind) and the
+    replica map -- kept coherent through the index's document-event stream,
+    so a reuse probe costs a dict lookup instead of a posting-list
+    intersection plus per-candidate XML decoding.  The indexes observe the
+    *index*, not this facade: descriptions published directly into KadoP (or
+    restored after a peer failure) are picked up all the same.
+    """
+
+    def __init__(self, index: KadopIndex | None = None, use_index: bool = True) -> None:
         self.index = index if index is not None else KadopIndex()
+        self.use_index = use_index
         self.streams_published = 0
         self.replicas_published = 0
         self.descriptions_retracted = 0
+        #: decoded ``<Stream>`` documents by doc id (the decode cache)
+        self._descriptions: dict[str, StreamDescription] = {}
+        #: (operator name, sorted operand pairs) -> doc ids
+        self._by_operator: dict[tuple[str, tuple[tuple[str, str], ...]], set[str]] = {}
+        #: (peer id, operator/alerter element name) -> doc ids
+        self._by_alerter: dict[tuple[str, str], set[str]] = {}
+        #: (original peer, original stream) -> {doc id: (replica peer, replica stream)}
+        self._replica_map: dict[tuple[str, str], dict[str, tuple[str, str]]] = {}
+        #: replica doc id -> its original (peer, stream) key, so a replica can
+        #: be deindexed even when its document has since been overwritten
+        self._replica_keys: dict[str, tuple[str, str]] = {}
+        #: bumped whenever a description that can influence reuse *matching*
+        #: changes: any ``<Stream>`` except Publisher outputs (a PUBLISH node
+        #: is never matched) and excluding ``<InChannel>`` replicas (they only
+        #: affect provider choice, which is re-ranked on every probe).  The
+        #: reuse signature cache keys its entries on this counter.
+        self.reuse_version = 0
+        for doc_id in self.index.document_ids:
+            document = self.index.document(doc_id)
+            if document is not None:
+                self._index_document(doc_id, document)
+        self.index.subscribe_documents(self._on_document_event)
 
     # -- publication ---------------------------------------------------------------
 
@@ -175,8 +214,10 @@ class StreamDefinitionDatabase:
 
     def find_alerter_streams(self, peer_id: str, alerter_kind: str) -> list[StreamDescription]:
         """``/Stream[@PeerId = $p1][Operator/inCom]`` and friends."""
-        query = f"/Stream[@PeerId = '{peer_id}'][Operator/{alerter_kind}]"
-        return [self._decode(doc) for _, doc in self.index.query(query)]
+        if not self.use_index:
+            return self.find_alerter_streams_oracle(peer_id, alerter_kind)
+        doc_ids = self._by_alerter.get((peer_id, alerter_kind), ())
+        return [self._descriptions[doc_id] for doc_id in sorted(doc_ids)]
 
     def find_operator_streams(
         self,
@@ -185,6 +226,40 @@ class StreamDefinitionDatabase:
         operands: list[tuple[str, str]],
     ) -> list[StreamDescription]:
         """Find streams computing ``operator`` over exactly the given operands."""
+        if not self.use_index:
+            return self.find_operator_streams_oracle(operator, spec, operands)
+        doc_ids = self._by_operator.get((operator, tuple(sorted(operands))), ())
+        found = [self._descriptions[doc_id] for doc_id in sorted(doc_ids)]
+        if spec:
+            found = [description for description in found if description.spec == spec]
+        return found
+
+    def find_replicas(self, peer_id: str, stream_id: str) -> list[tuple[str, str]]:
+        """Replica providers of ``stream_id@peer_id`` as (peer, stream) pairs."""
+        if not self.use_index:
+            return self.find_replicas_oracle(peer_id, stream_id)
+        providers = self._replica_map.get((peer_id, stream_id), {})
+        return [providers[doc_id] for doc_id in sorted(providers)]
+
+    def all_stream_descriptions(self) -> list[StreamDescription]:
+        if not self.use_index:
+            return [self._decode(doc) for _, doc in self.index.query("/Stream")]
+        return [self._descriptions[doc_id] for doc_id in sorted(self._descriptions)]
+
+    # -- the XPath query path, retained as the differential oracle ----------------------
+
+    def find_alerter_streams_oracle(
+        self, peer_id: str, alerter_kind: str
+    ) -> list[StreamDescription]:
+        query = f"/Stream[@PeerId = '{peer_id}'][Operator/{alerter_kind}]"
+        return [self._decode(doc) for _, doc in self.index.query(query)]
+
+    def find_operator_streams_oracle(
+        self,
+        operator: str,
+        spec: str | None,
+        operands: list[tuple[str, str]],
+    ) -> list[StreamDescription]:
         spec_predicate = f"[@spec = '{spec}']" if spec else ""
         predicates = "".join(
             f"[Operands/Operand[@OPeerId='{peer}'][@OStreamId='{stream}']]"
@@ -196,16 +271,122 @@ class StreamDefinitionDatabase:
         wanted = sorted(operands)
         return [c for c in candidates if sorted(c.operands) == wanted]
 
-    def find_replicas(self, peer_id: str, stream_id: str) -> list[tuple[str, str]]:
-        """Replica providers of ``stream_id@peer_id`` as (peer, stream) pairs."""
+    def find_replicas_oracle(self, peer_id: str, stream_id: str) -> list[tuple[str, str]]:
         query = f"/InChannel[@PeerId = '{peer_id}'][@StreamId = '{stream_id}']"
         return [
             (doc.attrib["ReplicaPeerId"], doc.attrib["ReplicaStreamId"])
             for _, doc in self.index.query(query)
         ]
 
-    def all_stream_descriptions(self) -> list[StreamDescription]:
-        return [self._decode(doc) for _, doc in self.index.query("/Stream")]
+    def verify_index_coherence(self) -> list[str]:
+        """Compare every secondary index against the document store.
+
+        Rebuilds what the indexes *should* contain from the raw ``<Stream>``
+        and ``<InChannel>`` documents (the XPath oracle's ground truth) and
+        returns a list of human-readable discrepancies -- empty when the
+        indexes are coherent.  Exercised by the differential tests and the
+        nightly chaos soak after publish/retract/failure churn.
+        """
+        problems: list[str] = []
+        descriptions: dict[str, StreamDescription] = {}
+        by_operator: dict[tuple[str, tuple[tuple[str, str], ...]], set[str]] = {}
+        by_alerter: dict[tuple[str, str], set[str]] = {}
+        replica_map: dict[tuple[str, str], dict[str, tuple[str, str]]] = {}
+        for doc_id in self.index.document_ids:
+            document = self.index.document(doc_id)
+            if document is None:
+                continue
+            if document.tag == "Stream":
+                description = self._decode(document)
+                descriptions[doc_id] = description
+                by_operator.setdefault(
+                    (description.operator, tuple(sorted(description.operands))), set()
+                ).add(doc_id)
+                by_alerter.setdefault(
+                    (description.peer_id, description.operator), set()
+                ).add(doc_id)
+            elif document.tag == "InChannel":
+                original = (document.attrib["PeerId"], document.attrib["StreamId"])
+                replica_map.setdefault(original, {})[doc_id] = (
+                    document.attrib["ReplicaPeerId"],
+                    document.attrib["ReplicaStreamId"],
+                )
+        for name, expected, actual in (
+            ("descriptions", descriptions, self._descriptions),
+            ("by_operator", by_operator, self._by_operator),
+            ("by_alerter", by_alerter, self._by_alerter),
+            ("replica_map", replica_map, self._replica_map),
+        ):
+            if expected != actual:
+                missing = expected.keys() - actual.keys()
+                extra = actual.keys() - expected.keys()
+                differing = sorted(
+                    key
+                    for key in expected.keys() & actual.keys()
+                    if expected[key] != actual[key]  # type: ignore[index]
+                )[:5]
+                problems.append(
+                    f"{name}: {len(missing)} missing, {len(extra)} stale, "
+                    f"first differing keys {differing}"
+                )
+        return problems
+
+    # -- secondary-index maintenance ----------------------------------------------------
+
+    def _on_document_event(self, kind: str, doc_id: str, document: Element) -> None:
+        if kind == "publish":
+            self._index_document(doc_id, document)
+        elif kind == "unpublish":
+            self._deindex_document(doc_id)
+
+    def _index_document(self, doc_id: str, document: Element) -> None:
+        # doc ids are deterministic and KadoP overwrites silently: drop any
+        # earlier filing first, or a republished description would linger
+        # under its old operator/alerter/replica keys
+        self._deindex_document(doc_id)
+        if document.tag == "Stream":
+            description = self._decode(document)
+            self._descriptions[doc_id] = description
+            operator_key = (description.operator, tuple(sorted(description.operands)))
+            self._by_operator.setdefault(operator_key, set()).add(doc_id)
+            self._by_alerter.setdefault(
+                (description.peer_id, description.operator), set()
+            ).add(doc_id)
+            if description.operator != OPERATOR_NAMES[PUBLISH]:
+                self.reuse_version += 1
+        elif document.tag == "InChannel":
+            original = (document.attrib["PeerId"], document.attrib["StreamId"])
+            self._replica_map.setdefault(original, {})[doc_id] = (
+                document.attrib["ReplicaPeerId"],
+                document.attrib["ReplicaStreamId"],
+            )
+            self._replica_keys[doc_id] = original
+
+    def _deindex_document(self, doc_id: str) -> None:
+        description = self._descriptions.pop(doc_id, None)
+        if description is not None:
+            operator_key = (description.operator, tuple(sorted(description.operands)))
+            bucket = self._by_operator.get(operator_key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._by_operator[operator_key]
+            alerter_key = (description.peer_id, description.operator)
+            bucket = self._by_alerter.get(alerter_key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._by_alerter[alerter_key]
+            if description.operator != OPERATOR_NAMES[PUBLISH]:
+                self.reuse_version += 1
+            return
+        original = self._replica_keys.pop(doc_id, None)
+        if original is not None:
+            providers = self._replica_map.get(original)
+            if providers is not None:
+                providers.pop(doc_id, None)
+                if not providers:
+                    del self._replica_map[original]
 
     # -- decoding -----------------------------------------------------------------------------
 

@@ -144,6 +144,10 @@ class ChannelRegistry:
         self._published: dict[str, Channel] = {}
         self._proxies: dict[tuple[str, str], RemoteChannelProxy] = {}
         self._proxy_unsubscribes: dict[tuple[str, str], object] = {}
+        #: name-allocation fast path: bumped whenever a name is freed, and
+        #: per-base resume points for :meth:`allocate_name` probes
+        self._free_epoch = 0
+        self._name_hints: dict[str, tuple[int, int]] = {}
         peer.register_handler(MSG_SUBSCRIBE, self._on_subscribe)
         peer.register_handler(MSG_UNSUBSCRIBE, self._on_unsubscribe)
         peer.register_handler(MSG_ITEM, self._on_item)
@@ -179,6 +183,9 @@ class ChannelRegistry:
         channel = self._published.pop(channel_id, None)
         if channel is None:
             return False
+        # a freed name may sit before any probe's resume point: restart
+        # name-allocation probes from their base so it is found again
+        self._free_epoch += 1
         if callable(channel.unsubscribe):
             channel.unsubscribe()
         payload = Element("channelEos", {"channelId": channel.channel_id})
@@ -197,6 +204,29 @@ class ChannelRegistry:
 
     def publishes(self, channel_id: str) -> bool:
         return channel_id in self._published
+
+    def allocate_name(self, base: str) -> str:
+        """First free name in the collision sequence ``base``, ``base-2``, ...
+
+        Returns exactly what probing from ``base`` would return, but in
+        amortised O(1): names are only freed by :meth:`unpublish`, so while
+        nothing has been freed since the previous probe for ``base`` every
+        name before that probe's stop point is still taken and the scan
+        resumes there instead of re-walking the sequence (which would make
+        ingesting N same-named subscriptions quadratic in N).
+        """
+        epoch, suffix = self._name_hints.get(base, (-1, 1))
+        if epoch != self._free_epoch:
+            suffix = 1
+        while True:
+            candidate = base if suffix == 1 else f"{base}-{suffix}"
+            if candidate not in self._published:
+                break
+            suffix += 1
+        # resume at the returned suffix: if the caller publishes it the next
+        # probe moves past it after one lookup, if not it is handed out again
+        self._name_hints[base] = (self._free_epoch, suffix)
+        return candidate
 
     @property
     def published_ids(self) -> list[str]:
