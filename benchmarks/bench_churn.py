@@ -10,7 +10,14 @@ operator and revives it again, measuring:
 * ``restore_ms`` -- wall-clock cost of ``revive_peer`` (full-coverage
   redeployment);
 * ``delivery_gap_ticks`` -- ticks with no delivery from surviving sources
-  after a failure (0 means monitoring never skipped a beat).
+  after a failure (0 means monitoring never skipped a beat);
+* ``detection_latency_ticks`` -- in detector mode, ticks from the (silent)
+  kill until the heartbeat detector confirms the death.  Oracle mode learns
+  of the failure synchronously, so its detection latency is always 0.
+
+Each size is measured twice -- once with the legacy failure oracle and once
+with heartbeat failure detection -- so the cost of dropping the oracle
+(silent kills, detection windows) is visible side by side.
 
 Usage::
 
@@ -45,9 +52,14 @@ def _union_host(handle) -> str:
     return str(unions[0].placement)
 
 
-def bench_churn(n_sources: int, churn_events: int, seed: int = 0) -> dict:
+def bench_churn(
+    n_sources: int,
+    churn_events: int,
+    seed: int = 0,
+    failure_mode: str = "oracle",
+) -> dict:
     """One measurement: repeated fail/revive of the union-hosting peer."""
-    system = P2PMSystem(seed=seed)
+    system = P2PMSystem(seed=seed, failure_mode=failure_mode)
     sources = [f"s{i}" for i in range(n_sources)]
     for source in sources:
         system.add_peer(source)
@@ -69,11 +81,18 @@ def bench_churn(n_sources: int, churn_events: int, seed: int = 0) -> dict:
     failover_ms: list[float] = []
     restore_ms: list[float] = []
     delivery_gaps: list[int] = []
+    detection_latencies: list[int] = []
+    detector = system.detector
     tick = 0
+    # detector mode needs a few ticks for confirmation + redeploy before
+    # delivery resumes; oracle redeploys synchronously inside fail_peer
+    probe_budget = 10 if detector is not None else 5
 
     def run_ticks(count: int) -> None:
         nonlocal tick
         for _ in range(count):
+            system.tick()  # heartbeats + retransmissions (no-op on oracle)
+            system.run()
             workload.tick(system, tick)
             system.run()
             tick += 1
@@ -81,31 +100,36 @@ def bench_churn(n_sources: int, churn_events: int, seed: int = 0) -> dict:
     run_ticks(3)  # warm-up traffic
     for _ in range(churn_events):
         victim = _union_host(handle)
+        killed_at = detector.tick_count if detector is not None else 0
         start = time.perf_counter()
-        system.fail_peer(victim)
+        system.fail_peer(victim)  # silent in detector mode
         failover_ms.append((time.perf_counter() - start) * 1000.0)
         system.run()
 
         # how many ticks pass before surviving sources deliver again?
         fail_tick = tick
-        gap = 0
-        for probe in range(5):
+        gap = probe_budget
+        for probe in range(probe_budget):
             run_ticks(1)
             if any(n >= fail_tick for _, n in received):
                 gap = probe
                 break
-        else:
-            gap = 5
         delivery_gaps.append(gap)
+        if detector is not None:
+            confirmed_at = max(
+                t for t, peer in detector.confirmations if peer == victim
+            )
+            detection_latencies.append(confirmed_at - killed_at)
 
         start = time.perf_counter()
-        system.revive_peer(victim)
+        system.revive_peer(victim)  # silent in detector mode: rejoin handshake
         restore_ms.append((time.perf_counter() - start) * 1000.0)
         system.run()
-        run_ticks(2)
+        run_ticks(3)
 
     return {
         "experiment": "churn",
+        "failure_mode": failure_mode,
         "sources": n_sources,
         "churn_events": churn_events,
         "alerts_delivered": len(received),
@@ -115,6 +139,12 @@ def bench_churn(n_sources: int, churn_events: int, seed: int = 0) -> dict:
         "restore_ms_median": round(statistics.median(restore_ms), 3),
         "restore_ms_max": round(max(restore_ms), 3),
         "delivery_gap_ticks_max": max(delivery_gaps),
+        "detection_latency_ticks_median": (
+            int(statistics.median(detection_latencies)) if detection_latencies else 0
+        ),
+        "detection_latency_ticks_max": (
+            max(detection_latencies) if detection_latencies else 0
+        ),
         "recoveries": system.recovery.recoveries,
         "final_status": handle.status,
     }
@@ -127,7 +157,11 @@ def run(quick: bool = False) -> dict:
     else:
         source_counts = [3, 8, 16]
         churn_events = 10
-    rows = [bench_churn(n, churn_events) for n in source_counts]
+    rows = [
+        bench_churn(n, churn_events, failure_mode=mode)
+        for n in source_counts
+        for mode in ("oracle", "detector")
+    ]
     return {"suite": "churn", "quick": quick, "results": rows}
 
 
@@ -141,9 +175,11 @@ def main(argv: list[str] | None = None) -> int:
     for row in summary["results"]:
         print(
             f"churn sources={row['sources']:>3}  "
+            f"mode {row['failure_mode']:<8}  "
             f"failover {row['failover_ms_median']:>7.2f} ms  "
             f"restore {row['restore_ms_median']:>7.2f} ms  "
             f"gap {row['delivery_gap_ticks_max']} ticks  "
+            f"detect {row['detection_latency_ticks_max']} ticks  "
             f"dups {row['duplicates']}"
         )
         if row["duplicates"] or row["final_status"] != "deployed":

@@ -33,6 +33,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("scenario", nargs="?", help="scenario name (see --list)")
     parser.add_argument("--seed", type=int, default=0, help="scenario seed (default 0)")
+    parser.add_argument(
+        "--failure-mode",
+        choices=("detector", "oracle"),
+        default=None,
+        help="override how failures are noticed (default: the scenario's own, "
+        "normally 'detector')",
+    )
     parser.add_argument("--list", action="store_true", help="list known scenarios")
     parser.add_argument(
         "--check-determinism",
@@ -49,7 +56,9 @@ def main(argv: list[str] | None = None) -> int:
     if not args.scenario:
         parser.error("a scenario name is required (or --list)")
 
-    result = make_scenario(args.scenario, seed=args.seed).run()
+    result = make_scenario(
+        args.scenario, seed=args.seed, failure_mode=args.failure_mode
+    ).run()
 
     if args.json:
         print(json.dumps(result.summary(), indent=2))
@@ -67,7 +76,9 @@ def main(argv: list[str] | None = None) -> int:
     exit_code = 0 if result.ok else 1
 
     if args.check_determinism:
-        replay = make_scenario(args.scenario, seed=args.seed).run()
+        replay = make_scenario(
+            args.scenario, seed=args.seed, failure_mode=args.failure_mode
+        ).run()
         if replay.fingerprint != result.fingerprint:
             print(
                 "DETERMINISM VIOLATION: same seed produced different traces "

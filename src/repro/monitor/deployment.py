@@ -43,9 +43,16 @@ from repro.algebra.plan import (
     RESTRUCTURE,
     UNION,
     PlanNode,
+    plan_signature,
 )
 from repro.algebra.template import ValueRef
+from repro.monitor.control import (
+    RPC_CHANNEL_SUBSCRIBE,
+    RPC_CHANNEL_UNSUBSCRIBE,
+    RPC_DEPLOY_PREPARE,
+)
 from repro.monitor.lifecycle import DeliveryValve, ResultBuffer, run_all
+from repro.net.errors import CircuitOpen
 from repro.publishers import Publisher, PublisherContext, create_publisher
 from repro.streams.stream import Stream
 from repro.xmlmodel.tree import Element
@@ -98,6 +105,12 @@ class DeployedTask:
     publisher: Publisher | None = None
     operators_by_peer: dict[str, list[Operator]] = field(default_factory=dict)
     channels_created: list[str] = field(default_factory=list)
+    #: structural plan signature -> where that node's output channel lives;
+    #: ``None`` marks a signature produced by several nodes (ambiguous, so
+    #: the epoch handoff skips it).  Lets a recovery redeployment match each
+    #: replacement operator to its predecessor's channel even though stream
+    #: ids are epoch-namespaced.
+    produced: dict[str, tuple[str, str] | None] = field(default_factory=dict)
     reuse_report: object | None = None
     #: terminal teardown actions (valve, publisher, reference releases), run
     #: in order by :meth:`teardown`; shared upstream resources are handled by
@@ -180,6 +193,7 @@ class Deployer:
         self.publish_replicas = publish_replicas
         self._counter = 0
         self._epoch = 0
+        self._predecessor: DeployedTask | None = None
 
     # -- public API -------------------------------------------------------------------
 
@@ -190,21 +204,33 @@ class Deployer:
         manager_peer: str,
         max_results: int | None = None,
         epoch: int = 0,
+        predecessor: DeployedTask | None = None,
     ) -> DeployedTask:
         """Instantiate ``plan``; ``epoch`` > 0 marks a recovery redeployment.
 
         Each epoch gets its own stream-id namespace so that control messages
         of a dead incarnation (a subscribe or EOS still in flight when a
         peer failed) can never be mistaken for traffic of its replacement.
+
+        ``predecessor`` is the incarnation being replaced (still running:
+        redeployment is make-before-break).  With reliable channels each
+        replacement operator placed on the same peer as its predecessor
+        adopts the orphaned outbox items the dead consumer never acked
+        (:meth:`~repro.net.channel.ChannelRegistry.adopt_orphans`), so
+        traffic emitted during the detection window survives the epoch
+        swap.
         """
         unplaced = plan.unplaced_nodes()
         if unplaced:
             raise ValueError(
                 f"cannot deploy: {len(unplaced)} plan node(s) have no placement"
             )
+        if self.system.reliable_control:
+            self._prepare_placements(plan, sub_id, manager_peer)
         task = DeployedTask(sub_id=sub_id, plan=plan, manager_peer=manager_peer)
         self._counter = 0
         self._epoch = epoch
+        self._predecessor = predecessor
         holder = f"sub:{sub_id}"
         if plan.kind == PUBLISH:
             handle = self._deploy_node(plan.children[0], task)
@@ -220,6 +246,33 @@ class Deployer:
         self._retain_stream(handle.original, holder)
         task.undo.append(lambda: ledger.release(handle.original, holder))
         return task
+
+    def _prepare_placements(self, plan: PlanNode, sub_id: str, manager_peer: str) -> None:
+        """Reliable-control prepare handshake: prove every placement is reachable.
+
+        Before instantiating anything the manager round-trips a
+        ``deploy.prepare`` RPC to every distinct remote placement peer of the
+        plan.  An unreachable or dead peer surfaces as a typed
+        :class:`~repro.net.errors.RpcError` *here* -- before any resource is
+        created -- so a doomed deployment fails fast instead of leaving a
+        partially-wired plan behind.
+        """
+        placements: set[str] = set()
+
+        def walk(node: PlanNode) -> None:
+            if node.placement and node.placement != manager_peer:
+                placements.add(node.placement)
+            for child in node.children:
+                walk(child)
+
+        walk(plan)
+        if not placements:
+            return
+        manager = self.system.peer(manager_peer)
+        for peer_id in sorted(placements):
+            manager.rpc.call_sync(
+                peer_id, RPC_DEPLOY_PREPARE, Element("prepare", {"subId": sub_id})
+            )
 
     # -- node deployment -----------------------------------------------------------------
 
@@ -293,6 +346,7 @@ class Deployer:
         unsubscribe_membership = membership_stream.subscribe(dynamic.on_membership_alert)
         peer.dynamic_sources.append(dynamic)
         created_channel = peer.ensure_channel(stream_id, output)
+        self._link_predecessor(node, task, peer.peer_id, stream_id, output)
         doc_id = self.system.stream_db.publish_node(
             node, peer.peer_id, stream_id, [membership_handle.original]
         )
@@ -332,6 +386,7 @@ class Deployer:
             operator.connect(stream)
         peer.operators.append(operator)
         created_channel = peer.ensure_channel(stream_id, output)
+        self._link_predecessor(node, task, peer.peer_id, stream_id, output)
         doc_id = self.system.stream_db.publish_node(
             node, peer.peer_id, stream_id, [handle.original for handle in child_handles]
         )
@@ -352,6 +407,34 @@ class Deployer:
                 key, lambda k=handle.original: ledger.release(k, holder)
             )
         return _StreamHandle(peer.peer_id, output, stream_id)
+
+    def _link_predecessor(
+        self,
+        node: PlanNode,
+        task: DeployedTask,
+        peer_id: str,
+        stream_id: str,
+        output: Stream,
+    ) -> None:
+        """Record where ``node``'s output lives; adopt its predecessor's orphans.
+
+        The structural :func:`~repro.algebra.plan.plan_signature` is the
+        epoch-stable identity of a plan node (stream ids are namespaced per
+        epoch, placements may move).  When a recovery redeployment
+        re-instantiates a node on the *same* peer as the incarnation being
+        replaced, the retiring channel's dead-subscriber outboxes are handed
+        over to the replacement's output stream before teardown can drop
+        them.  Signatures produced by several nodes of one plan are marked
+        ambiguous and skipped -- a wrong handoff would replay items into an
+        unrelated branch.
+        """
+        sig = plan_signature(node)
+        task.produced[sig] = None if sig in task.produced else (peer_id, stream_id)
+        if not self.system.reliable_channels or self._predecessor is None:
+            return
+        prev = self._predecessor.produced.get(sig)
+        if prev is not None and prev[0] == peer_id and prev[1] != stream_id:
+            self.system.peer(peer_id).net.channels.adopt_orphans(prev[1], output)
 
     def _make_operator(self, node: PlanNode, peer: "P2PMPeer", output: Stream) -> Operator:
         if node.kind == FILTER:
@@ -396,8 +479,20 @@ class Deployer:
         a replica advertisement); both are ledger entries shared between every
         local consumer of the same channel, so ``holder``'s release -- queued
         on ``sink`` -- only tears them down when the last consumer leaves.
+
+        With reliable channels even *same-peer* consumption goes through a
+        local proxy subscription instead of the direct-stream shortcut:
+        takeover claims (:meth:`ChannelRegistry.claim_orphans`) replay into
+        the claiming subscriber's proxy, so every consumer -- local or
+        remote -- must present one.  With reliable control the subscribe is
+        announced over RPC (retried, typed failure) rather than as a
+        fire-and-forget message, and the unsubscribe undo follows suit.
         """
-        if handle.peer_id == consumer_peer_id and handle.stream is not None:
+        if (
+            handle.peer_id == consumer_peer_id
+            and handle.stream is not None
+            and not self.system.reliable_channels
+        ):
             return handle.stream
         producer = self.system.peer(handle.peer_id)
         if handle.stream is not None:
@@ -406,7 +501,25 @@ class Deployer:
         ledger = self.system.resources
         proxy_key = ("proxy", consumer_peer_id, handle.peer_id, handle.stream_id)
         first_local_consumer = ledger.register(proxy_key)
-        proxy = consumer.net.subscribe_channel(handle.peer_id, handle.stream_id)
+        channels = consumer.net.channels
+        rpc_announced = (
+            self.system.reliable_control and handle.peer_id != consumer_peer_id
+        )
+        newly_subscribed = rpc_announced and not channels.has_subscription(
+            handle.peer_id, handle.stream_id
+        )
+        proxy = channels.subscribe_remote(
+            handle.peer_id, handle.stream_id, announce=not rpc_announced
+        )
+        if newly_subscribed:
+            consumer.rpc.call_sync(
+                handle.peer_id,
+                RPC_CHANNEL_SUBSCRIBE,
+                Element(
+                    "subscribe",
+                    {"channelId": handle.stream_id, "subscriber": consumer_peer_id},
+                ),
+            )
         task.channels_created.append(f"#{handle.stream_id}@{handle.peer_id}")
         if first_local_consumer:
             if self.publish_replicas and handle.original[0] != consumer_peer_id:
@@ -430,12 +543,38 @@ class Deployer:
                         proxy_key,
                         lambda: consumer.net.unpublish_channel(proxy.stream_id),
                     )
-            ledger.add_undo(
-                proxy_key,
-                lambda: consumer.net.channels.unsubscribe_remote(
-                    handle.peer_id, handle.stream_id
-                ),
-            )
+            if rpc_announced:
+
+                def _unsubscribe_via_rpc() -> None:
+                    channels.unsubscribe_remote(
+                        handle.peer_id, handle.stream_id, announce=False
+                    )
+                    try:
+                        # async: teardown must not block on a slow publisher
+                        consumer.rpc.call(
+                            handle.peer_id,
+                            RPC_CHANNEL_UNSUBSCRIBE,
+                            Element(
+                                "unsubscribe",
+                                {
+                                    "channelId": handle.stream_id,
+                                    "subscriber": consumer_peer_id,
+                                },
+                            ),
+                        )
+                    except CircuitOpen:
+                        # publisher believed dead: its subscriber set died
+                        # with it, nothing to withdraw from
+                        pass
+
+                ledger.add_undo(proxy_key, _unsubscribe_via_rpc)
+            else:
+                ledger.add_undo(
+                    proxy_key,
+                    lambda: consumer.net.channels.unsubscribe_remote(
+                        handle.peer_id, handle.stream_id
+                    ),
+                )
             # a replica provider is itself carried by another channel
             # subscription: hold that upstream entry so the transport chain
             # outlives the subscription that first created it

@@ -185,10 +185,22 @@ class SubscriptionHandle:
     # -- accounting ------------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """Counters describing the subscription's deployment and delivery."""
+        """Counters describing the subscription's deployment and delivery.
+
+        The ``reliability`` sub-dict surfaces the system-wide transport
+        counters (RPC retries/timeouts, circuit-breaker trips, heartbeats,
+        channel retransmissions/replays/sheds) plus recovery-listener
+        failures -- system-wide because transport and detection are shared
+        infrastructure, not per-subscription state.
+        """
         task = self._require_task()
         valve = task.valve
         buffer = task.results_buffer
+        system = self._manager.peer.system
+        reliability: dict[str, int] = dict(
+            system.network.stats.reliability_snapshot()
+        )
+        reliability["listener_errors"] = system.recovery.listener_errors
         return {
             "sub_id": self.sub_id,
             "status": self.status,
@@ -203,6 +215,7 @@ class SubscriptionHandle:
             "nodes_reused": (
                 task.reuse_report.nodes_reused if task.reuse_report is not None else 0
             ),
+            "reliability": reliability,
         }
 
     # -- internals -------------------------------------------------------------

@@ -198,7 +198,10 @@ class SubscriptionManager:
             plan,
             manager_peer=self.peer.peer_id,
             load=self.peer.system.placement_load,
-            avoid=self.peer.system.down_peers(),
+            # believed-down plus merely-suspected peers: placing onto a
+            # suspect that is then confirmed would trigger an immediate
+            # recovery, so suspicion is enough to steer placement away
+            avoid=self.peer.system.avoid_peers(),
         )
 
         record = Subscription(
@@ -233,7 +236,7 @@ class SubscriptionManager:
     def redeploy(
         self, sub_id: str, down: frozenset[str]
     ) -> tuple[str, tuple[str, ...]]:
-        """Tear the subscription's task down and redeploy it around ``down`` peers.
+        """Redeploy the subscription around ``down`` peers, then retire the old task.
 
         Called by the :class:`~repro.monitor.recovery.RecoveryManager` while
         the subscription is ``RECOVERING``.  The plan is recompiled from the
@@ -242,6 +245,15 @@ class SubscriptionManager:
         is down are pruned, and placement avoids every down peer.  Result
         buffers and ``on_result`` callbacks are handed over to the new
         task's delivery stream, so existing handles keep delivering.
+
+        The replacement is deployed *before* the old incarnation is torn
+        down (make-before-break): shared resources -- alerter channels in
+        particular -- stay refcounted above zero across the swap, so their
+        reliable-mode outboxes survive and the replacement's channel
+        subscriptions can claim the items the dead consumer never acked
+        (:meth:`~repro.net.channel.ChannelRegistry.claim_orphans`).  Tearing
+        down first would unpublish those channels and silently drop the
+        detection-window traffic with them.
 
         Returns ``(outcome, pending_sources)`` where outcome is
         ``"deployed"`` (full plan), ``"degraded"`` (some sources pruned) or
@@ -257,9 +269,11 @@ class SubscriptionManager:
         if old_task is not None:
             if old_task.publisher is not None:
                 # the replacement deployment builds its own publisher; the old
-                # one must not ride along in the parked audience or results
-                # would publish twice after recovery
-                old_task.publisher.disconnect()
+                # one must not ride along in the parked audience (results
+                # would publish twice after recovery), and any name it owns
+                # -- its published channel -- must be free again before the
+                # replacement claims it (deployment is make-before-break)
+                old_task.publisher.retire()
             if old_task.delivery is not None:
                 # hand the delivery audience over before teardown closes the
                 # old stream, so nobody observes a spurious EOS
@@ -267,11 +281,15 @@ class SubscriptionManager:
                 parked_from.append(old_task.delivery)
             if old_task.results_buffer is not None:
                 buffer = old_task.results_buffer
-            try:
-                old_task.teardown()
-            except Exception:  # noqa: BLE001 - teardown around a dead peer is best-effort
-                pass
             record.task = None
+
+        def retire_old_task() -> None:
+            if old_task is not None:
+                try:
+                    old_task.teardown()
+                except Exception:  # noqa: BLE001 - teardown around a dead peer is best-effort
+                    pass
+
         try:
             plan = compile_subscription(record.ast, sub_id)
             plan = optimize_plan(plan)
@@ -280,6 +298,7 @@ class SubscriptionManager:
                 record.notes["recovery_parked"] = parked
                 record.notes["recovery_parked_from"] = parked_from
                 record.notes["recovery_buffer"] = buffer
+                retire_old_task()
                 return "waiting", tuple(sorted(pending))
             place_plan(
                 pruned,
@@ -293,7 +312,11 @@ class SubscriptionManager:
             epoch = int(record.notes.get("recovery_epoch", 0)) + 1
             record.notes["recovery_epoch"] = epoch
             task = deployer.deploy(
-                pruned, sub_id, manager_peer=self.peer.peer_id, epoch=epoch
+                pruned,
+                sub_id,
+                manager_peer=self.peer.peer_id,
+                epoch=epoch,
+                predecessor=old_task,
             )
         except Exception:
             # park the delivery audience for the next recovery attempt, or the
@@ -301,7 +324,9 @@ class SubscriptionManager:
             record.notes["recovery_parked"] = parked
             record.notes["recovery_parked_from"] = parked_from
             record.notes["recovery_buffer"] = buffer
+            retire_old_task()
             raise
+        retire_old_task()
         record.plan = pruned
         record.task = task
         if buffer is not None:

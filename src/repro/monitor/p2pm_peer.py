@@ -14,13 +14,16 @@ from typing import Callable
 from repro.alerters import Alerter, AXMLRepository, create_alerter
 from repro.dht.chord import ChordRing
 from repro.dht.kadop import KadopIndex
+from repro.monitor.control import ControlPlaneRouter, register_control_methods
 from repro.monitor.lifecycle import ResourceLedger
 from repro.monitor.manager import SubscriptionManager
 from repro.monitor.recovery import RecoveryManager
 from repro.monitor.reuse import ReuseSignatureCache
 from repro.monitor.stream_db import StreamDefinitionDatabase
+from repro.net.detector import DetectorConfig, HeartbeatDetector
 from repro.net.faults import FaultModel
 from repro.net.peer import Peer
+from repro.net.rpc import RetryPolicy, RpcEndpoint
 from repro.net.simnet import SimNetwork
 from repro.streams.stream import Stream
 from repro.xmlmodel.axml import ServiceRegistry
@@ -29,17 +32,63 @@ AlerterHook = Callable[[Alerter], None]
 
 
 class P2PMSystem:
-    """A whole monitoring deployment: network + peers + Stream Definition DB."""
+    """A whole monitoring deployment: network + peers + Stream Definition DB.
+
+    Failure handling comes in two modes:
+
+    * ``failure_mode="oracle"`` (the default, backwards compatible):
+      :meth:`fail_peer` synchronously notifies the DHT and the recovery
+      manager -- the perfect failure oracle no real deployment has.
+    * ``failure_mode="detector"``: kills are *silent*.  A
+      :class:`~repro.net.detector.HeartbeatDetector` pings a seeded
+      neighbor set every :meth:`tick`; its confirmations (not the oracle)
+      drive DHT re-replication, channel-subscriber death marking and
+      recovery redeployment, and its rejoin handshake replaces revive
+      notifications.  Channels switch to acknowledged delivery with
+      per-tick retransmission (``reliable_channels``).
+
+    Orthogonally, ``reliable_control=True`` routes Stream Definition
+    Database publications/retractions and deployment control messages
+    through the retrying RPC layer (:mod:`repro.monitor.control`), so a
+    lossy network yields typed errors instead of silently lost control ops.
+    """
 
     def __init__(
         self,
         seed: int = 0,
         publish_replicas: bool = True,
         fault_model: FaultModel | None = None,
+        failure_mode: str = "oracle",
+        reliable_control: bool = False,
+        reliable_channels: bool | None = None,
+        detector_config: DetectorConfig | None = None,
+        rpc_policy: RetryPolicy | None = None,
     ) -> None:
+        if failure_mode not in ("oracle", "detector"):
+            raise ValueError(
+                f"failure_mode must be 'oracle' or 'detector', got {failure_mode!r}"
+            )
         self.network = SimNetwork(seed=seed, fault_model=fault_model)
         self.kadop = KadopIndex(ChordRing())
         self.stream_db = StreamDefinitionDatabase(self.kadop)
+        self.failure_mode = failure_mode
+        self.reliable_control = reliable_control
+        #: acknowledged channel delivery; defaults to on exactly when the
+        #: failure oracle is off (detection latency opens a loss window the
+        #: retransmit/takeover machinery must cover)
+        self.reliable_channels = (
+            failure_mode == "detector" if reliable_channels is None else reliable_channels
+        )
+        self.rpc_policy = rpc_policy if rpc_policy is not None else RetryPolicy()
+        self.detector: HeartbeatDetector | None = None
+        if failure_mode == "detector":
+            self.detector = HeartbeatDetector(
+                self.network, seed=seed, config=detector_config
+            )
+            self.detector.on_confirm = self._on_peer_confirmed_down
+            self.detector.on_rejoin = self._on_peer_rejoined
+        if reliable_control:
+            self.stream_db.router = ControlPlaneRouter(self)
         #: interned reuse outcomes shared by every peer's subscription
         #: manager: identical subscriptions short-circuit straight to their
         #: matched plan while the Stream Definition Database is unchanged
@@ -74,6 +123,9 @@ class P2PMSystem:
         # Definition Database (KadoP is itself a P2P system)
         if peer_id not in self.kadop.ring:
             self.kadop.ring.join(peer_id)
+        if self.detector is not None:
+            self.detector.attach(peer.net)
+        peer.net.channels.reliable = self.reliable_channels
         return peer
 
     def peer(self, peer_id: str) -> "P2PMPeer":
@@ -95,37 +147,52 @@ class P2PMSystem:
 
     # -- peer lifecycle (churn) --------------------------------------------------
 
-    def fail_peer(self, peer_id: str) -> bool:
-        """Simulate an abrupt peer failure, propagating it through every layer.
+    def fail_peer(self, peer_id: str, notify: bool | None = None) -> bool:
+        """Simulate an abrupt peer failure.
 
-        The network stops routing the peer's messages, the DHT re-stabilises
+        With ``notify=True`` (the oracle-mode default) the failure
+        propagates synchronously through every layer: the DHT re-stabilises
         (its ring node fails abruptly; lost index keys are re-replicated
         onto the surviving nodes) and the recovery manager redeploys every
-        subscription spanning the dead peer on surviving peers.  Returns
-        False when the peer was already down.
+        subscription spanning the dead peer on surviving peers.
+
+        With ``notify=False`` (the detector-mode default) the kill is
+        *silent*: only the network learns about it, and the system must
+        notice via heartbeat silence -- :meth:`tick` the system until the
+        detector confirms the death and drives the same chain itself.
+
+        Returns False when the peer was already down.
         """
         if peer_id not in self._peers:
             raise KeyError(f"unknown P2PM peer {peer_id!r}")
-        if not self.network.fail_peer(peer_id):
+        if notify is None:
+            notify = self.failure_mode == "oracle"
+        if not self.network.fail_peer(peer_id, notify=notify):
             return False
-        self.kadop.fail_peer(peer_id)
-        self.recovery.handle_peer_failure(peer_id)
+        if notify:
+            self.kadop.fail_peer(peer_id)
+            self.recovery.handle_peer_failure(peer_id)
         return True
 
-    def revive_peer(self, peer_id: str) -> bool:
-        """Bring a failed peer back and restore coverage that waited on it.
+    def revive_peer(self, peer_id: str, notify: bool | None = None) -> bool:
+        """Bring a failed peer back.
 
-        The peer rejoins the network and the DHT (emitting a ``join``
-        membership event), and the recovery manager redeploys subscriptions
-        whose pending sources included it.  Returns False when the peer was
-        not down.
+        With ``notify=True`` (oracle-mode default) the peer rejoins the DHT
+        immediately and the recovery manager redeploys subscriptions whose
+        pending sources included it.  With ``notify=False`` (detector-mode
+        default) only the network revives it: the peer's heartbeat layer
+        performs the rejoin handshake and reintegration happens when an
+        observer hears it.  Returns False when the peer was not down.
         """
         if peer_id not in self._peers:
             raise KeyError(f"unknown P2PM peer {peer_id!r}")
-        if not self.network.revive_peer(peer_id):
+        if notify is None:
+            notify = self.failure_mode == "oracle"
+        if not self.network.revive_peer(peer_id, notify=notify):
             return False
-        self.kadop.join_peer(peer_id)
-        self.recovery.handle_peer_revival(peer_id)
+        if notify:
+            self.kadop.join_peer(peer_id)
+            self.recovery.handle_peer_revival(peer_id)
         return True
 
     def is_alive(self, peer_id: str) -> bool:
@@ -133,8 +200,63 @@ class P2PMSystem:
         return peer_id in self._peers and self.network.is_alive(peer_id)
 
     def down_peers(self) -> frozenset[str]:
-        """The currently failed peers."""
+        """The currently failed peers (ground truth, from the network)."""
         return self.network.down_peers()
+
+    def believed_down(self) -> frozenset[str]:
+        """The peers the *system* believes are down.
+
+        In detector mode this is the set of CONFIRMED peers -- which lags
+        ground truth by the detection latency and may (rarely) include a
+        live-but-partitioned peer.  Recovery and placement act on belief,
+        not on the oracle.
+        """
+        if self.detector is not None:
+            return self.detector.confirmed_peers()
+        return self.network.down_peers()
+
+    def suspected_peers(self) -> list[str]:
+        """Peers currently under suspicion (empty in oracle mode)."""
+        if self.detector is not None:
+            return self.detector.suspected_peers()
+        return []
+
+    def avoid_peers(self) -> frozenset[str]:
+        """Peers placement should avoid: believed down or under suspicion."""
+        believed = self.believed_down()
+        suspected = self.suspected_peers()
+        if suspected:
+            return believed | frozenset(suspected)
+        return believed
+
+    # -- detector-driven failure handling ---------------------------------------
+
+    def tick(self) -> None:
+        """One control round: heartbeats plus channel retransmissions.
+
+        A no-op in oracle mode, so scenario loops can call it
+        unconditionally without perturbing golden traces.
+        """
+        if self.detector is not None:
+            self.detector.tick()
+        if self.reliable_channels:
+            for peer in self._peers.values():
+                if self.network.is_alive(peer.peer_id):
+                    peer.net.channels.retransmit_tick()
+
+    def _on_peer_confirmed_down(self, peer_id: str) -> None:
+        """Detector confirmation: drive the same chain the oracle would."""
+        self.kadop.fail_peer(peer_id)
+        for peer in self._peers.values():
+            peer.net.channels.handle_peer_death(peer_id)
+        self.recovery.handle_peer_failure(peer_id)
+
+    def _on_peer_rejoined(self, peer_id: str) -> None:
+        """Detector rejoin handshake: reintegrate a confirmed-dead peer."""
+        self.kadop.join_peer(peer_id)
+        for peer in self._peers.values():
+            peer.net.channels.handle_peer_rejoin(peer_id)
+        self.recovery.handle_peer_revival(peer_id)
 
 
 class P2PMPeer:
@@ -149,6 +271,8 @@ class P2PMPeer:
         self.peer_id = peer_id
         self.system = system
         self.net = Peer(peer_id, system.network, coordinates)
+        self.rpc = RpcEndpoint(self.net, system.rpc_policy)
+        register_control_methods(self)
         self.manager = SubscriptionManager(self)
         self.repository = AXMLRepository(peer_id)
         self.service_registry = ServiceRegistry()

@@ -102,8 +102,9 @@ class RecoveryEvent:
     peer_id: str
     #: ``recovering`` (redeployment starting), ``deployed`` (full coverage),
     #: ``degraded`` (some sources pruned), ``waiting`` (nothing deployable
-    #: until a source revives), or ``abandoned`` (the subscription's own
-    #: manager peer failed)
+    #: until a source revives), ``abandoned`` (the subscription's own
+    #: manager peer failed), or ``intact`` (the manager came back and its
+    #: untouched deployment needed no redeploy)
     outcome: str
     #: failed source peers whose revival will trigger another redeployment
     pending_sources: tuple[str, ...] = ()
@@ -127,6 +128,8 @@ class RecoveryManager:
         #: sub_id -> failed source peers whose revival restores full coverage
         self.pending_sources: dict[str, set[str]] = {}
         self.recoveries = 0
+        #: listener callbacks that raised (isolated, not propagated)
+        self.listener_errors = 0
 
     def subscribe(self, listener: RecoveryListener) -> Callable[[], None]:
         """Register a callback invoked on every recovery event; returns an
@@ -232,7 +235,10 @@ class RecoveryManager:
     ) -> RecoveryEvent:
         sub_id = record.sub_id
         manager_peer = manager.peer.peer_id
-        down = self.system.network.down_peers()
+        # act on what the system *believes*: in detector mode this is the
+        # confirmed set (ground truth lagged by the detection latency), so
+        # recovery never consults the oracle it is meant to replace
+        down = self.system.believed_down()
         if manager_peer in down:
             # the Subscription Manager itself is dead: nothing can be
             # redriven from it (its control messages would be dropped).
@@ -243,6 +249,23 @@ class RecoveryManager:
             return self._emit(
                 sub_id, manager_peer, trigger, peer_id, "abandoned", tuple(sorted(pending))
             )
+        if (
+            trigger == "revival"
+            and peer_id == manager_peer
+            and record.task is not None
+            and record.status in (DEPLOYED, PAUSED)
+            and not (
+                self.system.believed_down() & set(record.task.peers_involved())
+            )
+        ):
+            # the manager was believed dead ("abandoned") while its deployment
+            # ran on untouched -- nothing was torn down or pruned, and no peer
+            # the task spans is believed down now.  A redeploy here would only
+            # churn epochs, destroying reliable-channel outboxes that still
+            # hold items undelivered during the outage; clear the marker
+            # instead and let retransmission finish the job.
+            self.pending_sources.pop(sub_id, None)
+            return self._emit(sub_id, manager_peer, trigger, peer_id, "intact")
         # a pause issued before (or during) recovery must survive any number
         # of waiting rounds, so it is persisted on the record, not a local
         was_paused = record.status == PAUSED or bool(
@@ -288,7 +311,11 @@ class RecoveryManager:
         event = RecoveryEvent(sub_id, manager_peer, trigger, peer_id, outcome, pending)
         self.events.append(event)
         for listener in list(self._listeners):
-            listener(event)
+            try:
+                listener(event)
+            except Exception:  # noqa: BLE001 - one bad listener must not
+                # starve the others (or abort the recovery that emitted this)
+                self.listener_errors += 1
         return event
 
 

@@ -97,6 +97,12 @@ class StreamDefinitionDatabase:
     def __init__(self, index: KadopIndex | None = None, use_index: bool = True) -> None:
         self.index = index if index is not None else KadopIndex()
         self.use_index = use_index
+        #: optional control-plane router (reliable mode): publications and
+        #: retractions travel as RPCs to the document's DHT home peer instead
+        #: of mutating the index in place -- must expose
+        #: ``publish_document(description, doc_id)`` and
+        #: ``retract_document(doc_id) -> bool``
+        self.router = None
         self.streams_published = 0
         self.replicas_published = 0
         self.descriptions_retracted = 0
@@ -164,7 +170,10 @@ class StreamDefinitionDatabase:
             raise ValueError("expected a <Stream> description")
         self.streams_published += 1
         doc_id = f"stream:{description.attrib['StreamId']}@{description.attrib['PeerId']}"
-        self.index.publish(description, doc_id)
+        if self.router is not None:
+            self.router.publish_document(description, doc_id)
+        else:
+            self.index.publish(description, doc_id)
         return doc_id
 
     def publish_node(
@@ -194,7 +203,10 @@ class StreamDefinitionDatabase:
             },
         )
         doc_id = f"replica:{replica_stream_id}@{replica_peer_id}"
-        self.index.publish(description, doc_id)
+        if self.router is not None:
+            self.router.publish_document(description, doc_id)
+        else:
+            self.index.publish(description, doc_id)
         return doc_id
 
     # -- retraction ---------------------------------------------------------------
@@ -205,7 +217,10 @@ class StreamDefinitionDatabase:
         Cancellation uses this so that the Reuse algorithm stops matching
         streams that are no longer produced.  Returns False when unknown.
         """
-        removed = self.index.unpublish(doc_id)
+        if self.router is not None:
+            removed = self.router.retract_document(doc_id)
+        else:
+            removed = self.index.unpublish(doc_id)
         if removed:
             self.descriptions_retracted += 1
         return removed

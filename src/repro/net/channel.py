@@ -29,6 +29,17 @@ MSG_SUBSCRIBE = "channel.subscribe"
 MSG_UNSUBSCRIBE = "channel.unsubscribe"
 MSG_ITEM = "channel.item"
 MSG_EOS = "channel.eos"
+MSG_ACK = "channel.ack"
+
+
+class OutboxEntry:
+    """One unacknowledged item wrapper awaiting (re)transmission."""
+
+    __slots__ = ("wrapper", "attempts")
+
+    def __init__(self, wrapper: Element) -> None:
+        self.wrapper = wrapper
+        self.attempts = 0
 
 
 @dataclass
@@ -43,6 +54,13 @@ class Channel:
     unsubscribe: object | None = field(default=None, repr=False)
     #: per-subscriber item sequence numbers (exactly-once deduplication)
     next_seq: dict[str, int] = field(default_factory=dict, repr=False)
+    #: reliable mode: per-subscriber unacked wrappers, keyed by sequence
+    outbox: dict[str, dict[int, OutboxEntry]] = field(
+        default_factory=dict, repr=False
+    )
+    #: reliable mode: subscribers the failure detector confirmed dead --
+    #: retransmission skips them, their outboxes await a takeover claim
+    dead: set[str] = field(default_factory=set, repr=False)
     #: memoised ``sorted(subscribers)``; fan-out is per item, (un)subscribes
     #: are rare, so the sort must not sit on the delivery path
     _sorted_cache: tuple[str, ...] | None = field(
@@ -137,13 +155,38 @@ class RemoteChannelProxy(Stream):
 
 
 class ChannelRegistry:
-    """Per-peer registry of published channels and remote subscriptions."""
+    """Per-peer registry of published channels and remote subscriptions.
+
+    With ``reliable = True`` (set network-wide by detector-mode systems)
+    item delivery becomes acknowledged: every sent wrapper is held in the
+    channel's per-subscriber outbox until the receiver acks its sequence
+    number, and :meth:`retransmit_tick` re-sends whatever is still pending.
+    Subscribers the failure detector confirms dead are skipped by the
+    sweep; their unacked items survive until a takeover subscriber claims
+    them (:meth:`claim_orphans`) or the peer rejoins.
+    """
+
+    #: retransmission attempts per item before shedding it (with accounting)
+    RETRY_LIMIT = 8
+    #: per-subscriber outbox size; the oldest entry is shed beyond this
+    OUTBOX_LIMIT = 1024
 
     def __init__(self, peer: "Peer") -> None:
         self._peer = peer
         self._published: dict[str, Channel] = {}
         self._proxies: dict[tuple[str, str], RemoteChannelProxy] = {}
         self._proxy_unsubscribes: dict[tuple[str, str], object] = {}
+        #: acknowledged delivery + retransmission (off on oracle systems)
+        self.reliable = False
+        #: takeover replays staged for the next :meth:`retransmit_tick` --
+        #: flushed there, not immediately, so a claiming subscriber's
+        #: operator is connected before the first replayed item arrives
+        self._pending_replays: list[tuple[Channel, str, list[Element]]] = []
+        #: epoch-handoff adoptions (:meth:`adopt_orphans`): payloads rescued
+        #: from a retiring channel, emitted into its successor stream once
+        #: that stream's channel has gained a subscriber.  Each entry is
+        #: ``[successor_stream, payloads, attempts]``.
+        self._pending_adoptions: list[list] = []
         #: name-allocation fast path: bumped whenever a name is freed, and
         #: per-base resume points for :meth:`allocate_name` probes
         self._free_epoch = 0
@@ -152,6 +195,7 @@ class ChannelRegistry:
         peer.register_handler(MSG_UNSUBSCRIBE, self._on_unsubscribe)
         peer.register_handler(MSG_ITEM, self._on_item)
         peer.register_handler(MSG_EOS, self._on_eos)
+        peer.register_handler(MSG_ACK, self._on_ack)
 
     # -- publishing side -----------------------------------------------------
 
@@ -193,6 +237,19 @@ class ChannelRegistry:
             self._peer.send(subscriber, MSG_EOS, payload)
         channel.clear_subscribers()
         return True
+
+    def unpublish_exact(self, channel_id: str, channel: Channel) -> bool:
+        """Withdraw ``channel_id`` only while it is still bound to ``channel``.
+
+        Channel names are reusable: a retiring incarnation's name may
+        already have been reclaimed by its replacement (make-before-break
+        recovery), in which case a name-based :meth:`unpublish` would tear
+        down the *new* channel.  Returns False when the name is unbound or
+        bound to a different channel object.
+        """
+        if self._published.get(channel_id) is not channel:
+            return False
+        return self.unpublish(channel_id)
 
     def published(self, channel_id: str) -> Channel:
         try:
@@ -258,6 +315,7 @@ class ChannelRegistry:
         channel_id = channel.channel_id
         publisher_id = channel.peer_id
         wrap = Element.fast_new
+        reliable = self.reliable
         sends: list[tuple[str, str, Element]] = []
         for item in items:
             shared = item.copy()
@@ -281,13 +339,40 @@ class ChannelRegistry:
                         },
                         [shared],
                     )
+                if reliable:
+                    self._record_unacked(channel, subscriber, seq, wrapper)
+                    if subscriber in channel.dead:
+                        # no point transmitting to a confirmed-dead peer:
+                        # the entry waits in the outbox for a takeover
+                        # claim (or the subscriber's rejoin)
+                        continue
                 sends.append((subscriber, MSG_ITEM, wrapper))
-        self._peer.network.send_many(self._peer.peer_id, sends)
+        if sends:
+            self._peer.network.send_many(self._peer.peer_id, sends)
+
+    def _record_unacked(
+        self, channel: Channel, subscriber: str, seq: int, wrapper: Element
+    ) -> None:
+        bucket = channel.outbox.get(subscriber)
+        if bucket is None:
+            bucket = channel.outbox[subscriber] = {}
+        bucket[seq] = OutboxEntry(wrapper)
+        if len(bucket) > self.OUTBOX_LIMIT:
+            bucket.pop(min(bucket))
+            self._peer.network.stats.items_shed += 1
 
     # -- subscribing side -----------------------------------------------------
 
-    def subscribe_remote(self, publisher_id: str, channel_id: str) -> RemoteChannelProxy:
-        """Subscribe to ``#channel_id@publisher_id`` and return the local proxy."""
+    def subscribe_remote(
+        self, publisher_id: str, channel_id: str, announce: bool = True
+    ) -> RemoteChannelProxy:
+        """Subscribe to ``#channel_id@publisher_id`` and return the local proxy.
+
+        ``announce=False`` creates the proxy without sending the
+        fire-and-forget subscribe message: the caller announces through the
+        reliable RPC path instead (the publisher-side effect is
+        :meth:`admit_subscriber` either way).
+        """
         key = (publisher_id, channel_id)
         if key in self._proxies:
             return self._proxies[key]
@@ -299,7 +384,10 @@ class ChannelRegistry:
             # self-addressed network messages and double delivery).
             channel = self.published(channel_id)
             self._proxy_unsubscribes[key] = channel.stream.subscribe(proxy.push)
-        else:
+            if self.reliable:
+                # a local consumer can take over from a dead remote one
+                self.claim_orphans(channel, self._peer.peer_id)
+        elif announce:
             request = Element(
                 "subscribe",
                 {"channelId": channel_id, "subscriber": self._peer.peer_id},
@@ -307,13 +395,19 @@ class ChannelRegistry:
             self._peer.send(publisher_id, MSG_SUBSCRIBE, request)
         return proxy
 
-    def unsubscribe_remote(self, publisher_id: str, channel_id: str) -> None:
+    def has_subscription(self, publisher_id: str, channel_id: str) -> bool:
+        """Whether a proxy for ``#channel_id@publisher_id`` exists here."""
+        return (publisher_id, channel_id) in self._proxies
+
+    def unsubscribe_remote(
+        self, publisher_id: str, channel_id: str, announce: bool = True
+    ) -> None:
         key = (publisher_id, channel_id)
         self._proxies.pop(key, None)
         unsubscribe = self._proxy_unsubscribes.pop(key, None)
         if callable(unsubscribe):
             unsubscribe()
-        if publisher_id != self._peer.peer_id:
+        if publisher_id != self._peer.peer_id and announce:
             request = Element(
                 "unsubscribe",
                 {"channelId": channel_id, "subscriber": self._peer.peer_id},
@@ -331,39 +425,285 @@ class ChannelRegistry:
 
     # -- message handlers ------------------------------------------------------
 
+    def admit_subscriber(self, channel_id: str, subscriber: str) -> Channel:
+        """Add ``subscriber`` to a published channel (the subscribe effect).
+
+        Shared by the fire-and-forget subscribe handler and the reliable RPC
+        subscribe method.  In reliable mode a new subscriber claims the
+        unacked items of confirmed-dead subscribers (takeover on redeploy).
+        Raises :class:`UnknownChannelError` when the channel is not
+        published here (withdrawn by churn or teardown).
+        """
+        channel = self.published(channel_id)
+        channel.add_subscriber(subscriber)
+        if self.reliable:
+            self.claim_orphans(channel, subscriber)
+        return channel
+
     def _on_subscribe(self, message) -> None:
         channel_id = message.payload.attrib["channelId"]
         subscriber = message.payload.attrib["subscriber"]
-        channel = self._published.get(channel_id)
-        if channel is None:
+        try:
+            self.admit_subscriber(channel_id, subscriber)
+        except UnknownChannelError:
             # stale subscribe: the channel was withdrawn (peer churn, task
             # teardown) while the request was in flight -- tell the
             # subscriber the channel is gone instead of crashing
             payload = Element("channelEos", {"channelId": channel_id})
             self._peer.send(subscriber, MSG_EOS, payload)
-            return
-        channel.add_subscriber(subscriber)
+
+    def drop_subscriber(self, channel_id: str, subscriber: str) -> None:
+        """Remove ``subscriber`` from a published channel (the unsubscribe effect)."""
+        channel = self._published.get(channel_id)
+        if channel is not None:
+            channel.remove_subscriber(subscriber)
+            channel.outbox.pop(subscriber, None)
+            channel.dead.discard(subscriber)
 
     def _on_unsubscribe(self, message) -> None:
-        channel_id = message.payload.attrib["channelId"]
-        subscriber = message.payload.attrib["subscriber"]
-        if channel_id in self._published:
-            self._published[channel_id].remove_subscriber(subscriber)
+        self.drop_subscriber(
+            message.payload.attrib["channelId"], message.payload.attrib["subscriber"]
+        )
 
     def _on_item(self, message) -> None:
         payload = message.payload
         attrib = payload.attrib
+        if self.reliable:
+            # ack everything carrying a sequence number -- duplicates and
+            # items for an already-gone proxy included -- so the publisher's
+            # outbox drains regardless of what happens to the item here
+            seq_text = attrib.get("seq")
+            if seq_text is not None and message.source != self._peer.peer_id:
+                self._peer.send(
+                    message.source,
+                    MSG_ACK,
+                    Element(
+                        "channelAck",
+                        {"channelId": attrib["channelId"], "seq": seq_text},
+                    ),
+                )
+                self._peer.network.stats.acks_sent += 1
         proxy = self._proxies.get((attrib["publisher"], attrib["channelId"]))
         if proxy is None or proxy.closed:
             return  # late item for an unsubscribed/closed proxy: drop it
         seq_text = attrib.get("seq")
         if seq_text is not None and not proxy.accept_seq(int(seq_text)):
             proxy.duplicates_dropped += 1
-            return  # a faulty network duplicated this message
+            return  # a faulty (or retransmitting) network duplicated this item
         proxy.receive_remote(payload.children[0])
+
+    def _on_ack(self, message) -> None:
+        attrib = message.payload.attrib
+        channel = self._published.get(attrib["channelId"])
+        if channel is None:
+            return
+        bucket = channel.outbox.get(message.source)
+        if bucket is not None:
+            bucket.pop(int(attrib["seq"]), None)
+            if not bucket:
+                channel.outbox.pop(message.source, None)
 
     def _on_eos(self, message) -> None:
         channel_id = message.payload.attrib["channelId"]
         proxy = self._proxies.get((message.source, channel_id))
         if proxy is not None:
             proxy.close()
+
+    # -- reliable delivery (retransmission, death, takeover) -------------------
+
+    def retransmit_tick(self) -> None:
+        """One reliability round: flush staged replays, re-send unacked items.
+
+        Called once per system tick in detector mode.  Items for
+        confirmed-dead subscribers are skipped (held for takeover); items
+        re-sent more than :data:`RETRY_LIMIT` times are shed with
+        accounting.
+        """
+        if not self.reliable:
+            return
+        network = self._peer.network
+        stats = network.stats
+        if self._pending_adoptions:
+            still_pending: list[list] = []
+            for entry in self._pending_adoptions:
+                stream, payloads, rounds = entry
+                channel = self._published.get(stream.stream_id)
+                if stream.closed or channel is None or channel.stream is not stream:
+                    # the successor died before anyone subscribed: the items
+                    # are genuinely lost, account for them
+                    stats.items_shed += len(payloads)
+                    continue
+                entry[2] = rounds + 1
+                if entry[2] == 1:
+                    # staged during this very tick: the replacement's own
+                    # subscribe announcements are still in flight, and an
+                    # immediate emit could cascade into a downstream channel
+                    # that has no subscribers yet -- hold one round
+                    still_pending.append(entry)
+                    continue
+                has_local_consumer = (
+                    self._peer.peer_id,
+                    stream.stream_id,
+                ) in self._proxies
+                if channel.subscribers or has_local_consumer:
+                    stream.emit_many(payloads)
+                    stats.items_replayed += len(payloads)
+                    continue
+                if entry[2] > self.RETRY_LIMIT:
+                    stats.items_shed += len(payloads)
+                else:
+                    still_pending.append(entry)
+            self._pending_adoptions = still_pending
+        if self._pending_replays:
+            replays, self._pending_replays = self._pending_replays, []
+            for channel, subscriber, payloads in replays:
+                if self._published.get(channel.channel_id) is not channel:
+                    continue  # channel withdrawn while the replay was staged
+                if subscriber == self._peer.peer_id:
+                    proxy = self._proxies.get(
+                        (self._peer.peer_id, channel.channel_id)
+                    )
+                    if proxy is not None and not proxy.closed:
+                        for payload in payloads:
+                            proxy.push(payload)
+                        stats.items_replayed += len(payloads)
+                elif subscriber in channel.subscribers:
+                    self._replay_to(channel, subscriber, payloads)
+        for channel_id in sorted(self._published):
+            channel = self._published[channel_id]
+            outbox = channel.outbox
+            if not outbox:
+                continue
+            sends: list[tuple[str, str, Element]] = []
+            emptied: list[str] = []
+            for subscriber in sorted(outbox):
+                if subscriber in channel.dead:
+                    continue
+                entries = outbox[subscriber]
+                expired = []
+                for seq in sorted(entries):
+                    entry = entries[seq]
+                    entry.attempts += 1
+                    if entry.attempts > self.RETRY_LIMIT:
+                        expired.append(seq)
+                        stats.items_shed += 1
+                        continue
+                    sends.append((subscriber, MSG_ITEM, entry.wrapper))
+                    stats.items_retransmitted += 1
+                for seq in expired:
+                    del entries[seq]
+                if not entries:
+                    emptied.append(subscriber)
+            for subscriber in emptied:
+                outbox.pop(subscriber, None)
+            if sends:
+                network.send_many(self._peer.peer_id, sends)
+
+    def _replay_to(
+        self, channel: Channel, subscriber: str, payloads: list[Element]
+    ) -> None:
+        """Send claimed payloads to the takeover subscriber as fresh items."""
+        next_seq = channel.next_seq
+        wrap = Element.fast_new
+        sends: list[tuple[str, str, Element]] = []
+        for payload in payloads:
+            seq = next_seq.get(subscriber, 0)
+            next_seq[subscriber] = seq + 1
+            wrapper = wrap(
+                "channelItem",
+                {
+                    "channelId": channel.channel_id,
+                    "publisher": channel.peer_id,
+                    "seq": str(seq),
+                },
+                [payload],
+            )
+            self._record_unacked(channel, subscriber, seq, wrapper)
+            sends.append((subscriber, MSG_ITEM, wrapper))
+        self._peer.network.stats.items_replayed += len(sends)
+        self._peer.network.send_many(self._peer.peer_id, sends)
+
+    def claim_orphans(self, channel: Channel, subscriber: str) -> int:
+        """Transfer dead subscribers' unacked items to ``subscriber``.
+
+        Takeover semantics for recovery: when a consumer peer is confirmed
+        dead and the subscription is redeployed elsewhere, the replacement's
+        subscribe claims whatever the dead consumer never acked, so items
+        emitted during the detection window are not lost.  The claimed
+        payloads are staged and delivered on the next
+        :meth:`retransmit_tick` -- by then the takeover deployment has
+        connected its operator to the new proxy.  Dead subscribers are
+        dropped from the channel entirely (the claim supersedes them);
+        payloads shared between several dead subscribers' wrappers are
+        claimed once.  Returns the number of claimed payloads.
+        """
+        if not channel.dead:
+            return 0
+        payloads: list[Element] = []
+        seen: set[int] = set()
+        for dead_subscriber in sorted(channel.dead):
+            entries = channel.outbox.pop(dead_subscriber, None)
+            if entries:
+                for seq in sorted(entries):
+                    payload = entries[seq].wrapper.children[0]
+                    if id(payload) not in seen:
+                        seen.add(id(payload))
+                        payloads.append(payload)
+            channel.remove_subscriber(dead_subscriber)
+            channel.next_seq.pop(dead_subscriber, None)
+        channel.dead.clear()
+        if payloads:
+            self._pending_replays.append((channel, subscriber, payloads))
+        return len(payloads)
+
+    def adopt_orphans(self, old_channel_id: str, successor: Stream) -> int:
+        """Hand a retiring channel's orphaned items over to its successor.
+
+        Recovery redeployments publish each surviving operator's output
+        under a *fresh* (epoch-suffixed) channel id, so a takeover
+        subscriber of the new incarnation never touches the old channel --
+        :meth:`claim_orphans` cannot save items the dead consumer left
+        unacked there, and the old channel's teardown would drop them.
+        Called by the deployer when it re-instantiates an operator on the
+        same peer: the dead subscribers' unacked payloads move from the old
+        channel's outboxes into a staged adoption, emitted into
+        ``successor`` (the replacement's output stream, *post*-operator, so
+        nothing is reprocessed) on the first :meth:`retransmit_tick` where
+        the successor channel has a subscriber to deliver to.  Returns the
+        number of adopted payloads.
+        """
+        channel = self._published.get(old_channel_id)
+        if channel is None or not channel.dead:
+            return 0
+        payloads: list[Element] = []
+        seen: set[int] = set()
+        for dead_subscriber in sorted(channel.dead):
+            entries = channel.outbox.pop(dead_subscriber, None)
+            if entries:
+                for seq in sorted(entries):
+                    payload = entries[seq].wrapper.children[0]
+                    if id(payload) not in seen:
+                        seen.add(id(payload))
+                        payloads.append(payload)
+            channel.remove_subscriber(dead_subscriber)
+            channel.next_seq.pop(dead_subscriber, None)
+        channel.dead.clear()
+        if payloads:
+            self._pending_adoptions.append([successor, payloads, 0])
+        return len(payloads)
+
+    def handle_peer_death(self, peer_id: str) -> None:
+        """Failure-detector confirmation: stop transmitting to ``peer_id``.
+
+        The subscriber stays in the channel (its outbox keeps accumulating
+        emitted items) so a takeover claim or its own rejoin can resume
+        without loss.
+        """
+        for channel in self._published.values():
+            if peer_id in channel.subscribers:
+                channel.dead.add(peer_id)
+
+    def handle_peer_rejoin(self, peer_id: str) -> None:
+        """Detector rejoin: resume retransmission to an unclaimed subscriber."""
+        for channel in self._published.values():
+            channel.dead.discard(peer_id)

@@ -91,6 +91,29 @@ class Message:
 PeerLifecycleListener = Callable[[str], None]
 
 
+class Timer:
+    """A scheduled callback on the delivery heap (see :meth:`SimNetwork.call_later`).
+
+    Timers share the event queue with messages, so callback order relative
+    to deliveries is part of the same deterministic (time, sequence) order.
+    """
+
+    __slots__ = ("fire_at", "callback", "cancelled")
+
+    def __init__(self, fire_at: float, callback: Callable[[], None]) -> None:
+        self.fire_at = fire_at
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (the heap entry becomes a no-op)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"Timer(fire_at={self.fire_at:.6f}, {state})"
+
+
 class SimNetwork:
     """The simulated network connecting all peers of a scenario.
 
@@ -124,9 +147,10 @@ class SimNetwork:
         self.stats = NetworkStats()
         self._peers: dict[str, "Peer"] = {}
         self._coordinates: dict[str, tuple[float, float]] = {}
-        #: heap of (deliver_at, sequence, message); the unique sequence number
-        #: breaks timestamp ties, so messages themselves are never compared
-        self._queue: list[tuple[float, int, Message]] = []
+        #: heap of (deliver_at, sequence, message-or-timer); the unique
+        #: sequence number breaks timestamp ties, so entries themselves are
+        #: never compared
+        self._queue: list[tuple[float, int, Message | Timer]] = []
         self._sequence = 0
         #: memoised per-pair latency; coordinates are fixed at registration,
         #: so entries only drop when a peer unregisters
@@ -217,12 +241,18 @@ class SimNetwork:
     # Peer lifecycle (fail / revive)
     # ------------------------------------------------------------------ #
 
-    def fail_peer(self, peer_id: str) -> bool:
+    def fail_peer(self, peer_id: str, notify: bool = True) -> bool:
         """Mark a registered peer as failed: it can no longer send or receive.
 
         The peer stays registered (its identity and coordinates survive), so
         it can be revived later; messages addressed to it while down are
-        dropped at delivery time.  Returns False when already down.
+        dropped.  Returns False when already down.
+
+        ``notify=False`` is a **silent kill**: lifecycle listeners are not
+        invoked, modelling the paper's volatile peers that leave without
+        telling anyone -- only a failure detector (heartbeat timeouts) can
+        notice.  The network-level liveness bookkeeping is identical either
+        way; what differs is who gets told.
         """
         if peer_id not in self._peers:
             raise UnknownPeerError(f"cannot fail unknown peer {peer_id!r}")
@@ -231,12 +261,18 @@ class SimNetwork:
         self._down.add(peer_id)
         if self.record_events:
             self._log(f"fail {peer_id}")
-        for listener in list(self._down_listeners):
-            listener(peer_id)
+        if notify:
+            for listener in list(self._down_listeners):
+                listener(peer_id)
         return True
 
-    def revive_peer(self, peer_id: str) -> bool:
-        """Bring a failed peer back; returns False when it was not down."""
+    def revive_peer(self, peer_id: str, notify: bool = True) -> bool:
+        """Bring a failed peer back; returns False when it was not down.
+
+        ``notify=False`` is a silent revival: listeners are not invoked and
+        the peer must make itself known again (the failure detector's rejoin
+        handshake).
+        """
         if peer_id not in self._peers:
             raise UnknownPeerError(f"cannot revive unknown peer {peer_id!r}")
         if peer_id not in self._down:
@@ -244,8 +280,9 @@ class SimNetwork:
         self._down.discard(peer_id)
         if self.record_events:
             self._log(f"revive {peer_id}")
-        for listener in list(self._up_listeners):
-            listener(peer_id)
+        if notify:
+            for listener in list(self._up_listeners):
+                listener(peer_id)
         return True
 
     def is_alive(self, peer_id: str) -> bool:
@@ -368,22 +405,35 @@ class SimNetwork:
     def send(self, source: str, destination: str, kind: str, payload: Element) -> Message:
         """Queue a message for delivery; returns the scheduled message.
 
-        The fault model, partitions and peer liveness all apply here: a
-        message from a failed peer is discarded, one crossing a partition is
-        held until heal, and the fault model may lose, duplicate or delay
-        what remains.
+        The fault model, partitions and peer liveness all apply here: one
+        crossing a partition is held until heal, and the fault model may
+        lose, duplicate or delay what remains.  Dead-peer semantics are
+        symmetric and both count ``messages_dropped_peer_down``:
+
+        * a message **from** a failed peer is dropped at send time
+          (``drop source-down`` in the event log) -- its in-process objects
+          may still try to send during teardown;
+        * a message **to** a peer already failed at send time is dropped at
+          send time too (``drop destination-down``); a peer that fails
+          while the message is in flight still drops it at delivery time
+          (same log text, later timestamp).
         """
         if destination not in self._peers:
             raise UnknownPeerError(f"cannot send to unknown peer {destination!r}")
         if source not in self._peers:
             raise UnknownPeerError(f"cannot send from unknown peer {source!r}")
-        if source in self._down:
-            # a failed peer cannot transmit: drop silently (its in-process
-            # objects may still try to send during teardown)
-            self.messages_dropped_peer_down += 1
-            if self.record_events:
-                self._log(f"drop source-down {source}->{destination} {kind}")
-            return self._make_message(source, destination, kind, payload, payload.weight())
+        down = self._down
+        if down:
+            if source in down:
+                self.messages_dropped_peer_down += 1
+                if self.record_events:
+                    self._log(f"drop source-down {source}->{destination} {kind}")
+                return self._make_message(source, destination, kind, payload, payload.weight())
+            if destination in down:
+                self.messages_dropped_peer_down += 1
+                if self.record_events:
+                    self._log(f"drop destination-down {source}->{destination} {kind}")
+                return self._make_message(source, destination, kind, payload, payload.weight())
         return self._schedule(source, destination, kind, payload, payload.weight())
 
     def send_many(
@@ -416,6 +466,7 @@ class SimNetwork:
                 )
             return messages
         peers = self._peers
+        down = self._down
         messages: list[Message] = []
         if (
             self.fault_model is not None
@@ -429,6 +480,18 @@ class SimNetwork:
                     raise UnknownPeerError(
                         f"cannot send to unknown peer {destination!r}"
                     )
+                if down and destination in down:
+                    self.messages_dropped_peer_down += 1
+                    if self.record_events:
+                        self._log(
+                            f"drop destination-down {source}->{destination} {kind}"
+                        )
+                    messages.append(
+                        self._make_message(
+                            source, destination, kind, payload, payload.weight()
+                        )
+                    )
+                    continue
                 messages.append(
                     schedule(source, destination, kind, payload, payload.weight())
                 )
@@ -446,6 +509,14 @@ class SimNetwork:
         for destination, kind, payload in sends:
             if destination not in peers:
                 raise UnknownPeerError(f"cannot send to unknown peer {destination!r}")
+            if down and destination in down:
+                self.messages_dropped_peer_down += 1
+                messages.append(
+                    self._make_message(
+                        source, destination, kind, payload, payload.weight()
+                    )
+                )
+                continue
             size = payload.weight()
             total_bytes += size
             pending.append((source, destination, size))
@@ -553,16 +624,37 @@ class SimNetwork:
     def trace(self) -> list[Message]:
         return list(self._trace)
 
-    def _deliver_one(self, deliver_at: float, message: Message) -> None:
-        """Advance the clock and deliver (or drop) one dequeued message.
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` on the event heap at ``now + delay``.
+
+        Returns a :class:`Timer` handle whose :meth:`Timer.cancel` turns the
+        pending entry into a no-op.  Timers interleave deterministically
+        with message deliveries in (time, sequence) order; the RPC layer
+        uses them for per-call deadlines.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule a timer in the past")
+        timer = Timer(self.now + delay, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, (timer.fire_at, self._sequence, timer))
+        return timer
+
+    def _deliver_one(self, deliver_at: float, message: Message | Timer) -> None:
+        """Advance the clock and deliver (or drop) one dequeued event.
 
         The single copy of the delivery semantics: both :meth:`step` and the
         :meth:`run` drain loop funnel through here, so drop rules, logging
         and handler dispatch cannot diverge between single-stepping and
-        batch draining.
+        batch draining.  Timers share the funnel: the clock advances, then
+        the callback fires unless the timer was cancelled.
         """
         if deliver_at > self.now:
             self.now = deliver_at
+        if type(message) is Timer:
+            if not message.cancelled:
+                message.callback()
+            return
+        assert isinstance(message, Message)
         destination = message.destination
         if destination in self._down:
             self.messages_dropped_peer_down += 1

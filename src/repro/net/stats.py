@@ -37,6 +37,16 @@ class NetworkStats:
         "_per_peer_sent",
         "_per_peer_received",
         "_pending",
+        "rpc_calls",
+        "rpc_retries",
+        "rpc_timeouts",
+        "rpc_rejected",
+        "circuits_opened",
+        "heartbeats_sent",
+        "items_retransmitted",
+        "items_replayed",
+        "items_shed",
+        "acks_sent",
     )
 
     def __init__(self) -> None:
@@ -46,6 +56,19 @@ class NetworkStats:
         self._per_peer_sent: dict[str, int] = {}
         self._per_peer_received: dict[str, int] = {}
         self._pending: list[tuple[str, str, int]] = []
+        # reliability-layer counters (RPC, heartbeats, reliable channels);
+        # kept out of snapshot() so message accounting stays comparable
+        # across reliable and plain runs
+        self.rpc_calls = 0
+        self.rpc_retries = 0
+        self.rpc_timeouts = 0
+        self.rpc_rejected = 0
+        self.circuits_opened = 0
+        self.heartbeats_sent = 0
+        self.items_retransmitted = 0
+        self.items_replayed = 0
+        self.items_shed = 0
+        self.acks_sent = 0
 
     #: pending-buffer size at which record() folds the buffer into the
     #: aggregate dicts, so a long run that never reads the breakdowns keeps
@@ -132,6 +155,35 @@ class NetworkStats:
         self._per_peer_sent.clear()
         self._per_peer_received.clear()
         self._pending.clear()
+        self.rpc_calls = 0
+        self.rpc_retries = 0
+        self.rpc_timeouts = 0
+        self.rpc_rejected = 0
+        self.circuits_opened = 0
+        self.heartbeats_sent = 0
+        self.items_retransmitted = 0
+        self.items_replayed = 0
+        self.items_shed = 0
+        self.acks_sent = 0
 
     def snapshot(self) -> dict[str, int]:
         return {"messages": self.total_messages, "bytes": self.total_bytes}
+
+    def reliability_snapshot(self) -> dict[str, int]:
+        """Counters of the reliability substrate (RPC, heartbeats, channels).
+
+        Separate from :meth:`snapshot` so existing message/byte comparisons
+        stay valid; all-zero on runs that never enable the reliable paths.
+        """
+        return {
+            "rpc_calls": self.rpc_calls,
+            "rpc_retries": self.rpc_retries,
+            "rpc_timeouts": self.rpc_timeouts,
+            "rpc_rejected": self.rpc_rejected,
+            "circuits_opened": self.circuits_opened,
+            "heartbeats_sent": self.heartbeats_sent,
+            "items_retransmitted": self.items_retransmitted,
+            "items_replayed": self.items_replayed,
+            "items_shed": self.items_shed,
+            "acks_sent": self.acks_sent,
+        }

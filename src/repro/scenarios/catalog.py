@@ -125,12 +125,63 @@ def _churn_soak(seed: int) -> ChaosScenario:
     )
 
 
+def _silent_kill(seed: int) -> ChaosScenario:
+    return ChaosScenario(
+        name="silent-kill",
+        seed=seed,
+        n_sources=4,
+        ticks=26,
+        schedule=(
+            ScenarioAction(8, "fail", "@union-host"),
+            ScenarioAction(18, "revive", "@union-host"),
+        ),
+        invariants=(
+            "exactly-once",
+            "no-duplicates",
+            "recovers",
+            "detects-within:4",
+            "recovers-within:4",
+        ),
+        description=(
+            "The union-hosting peer is killed *silently* (no lifecycle "
+            "notification): the heartbeat detector must confirm the death "
+            "within its latency bound, drive redeployment on survivors, and "
+            "reintegrate the peer through the rejoin handshake when it "
+            "silently returns -- no lost and no duplicate alerts."
+        ),
+    )
+
+
+def _lossy_control_plane(seed: int) -> ChaosScenario:
+    return ChaosScenario(
+        name="lossy-control-plane",
+        seed=seed,
+        n_sources=4,
+        ticks=24,
+        reliable_control=True,
+        apply_faults_before_subscribe=True,
+        fault_model=FaultModel(loss_rate=0.1, jitter=0.02),
+        schedule=(ScenarioAction(20, "clear-faults"),),
+        invariants=("no-duplicates", "drain-delivered"),
+        description=(
+            "10% message loss from before the subscription is even "
+            "submitted: deployment control (index publications, channel "
+            "subscribes, placement prepare) rides the retrying RPC layer, "
+            "so the subscription either deploys fully and keeps delivering "
+            "or fails with a typed error -- never a silent partial "
+            "deployment."
+        ),
+    )
+
+
 SCENARIOS: dict[str, ScenarioFactory] = {
     "partition-heal": _partition_heal,
     "churn-failover": _churn_failover,
     "flaky-network": _flaky_network,
     "lossy-network": _lossy_network,
     "churn-soak": _churn_soak,
+    "silent-kill": _silent_kill,
+    "lossy-control-plane": _lossy_control_plane,
 }
 
 
@@ -138,12 +189,22 @@ def scenario_names() -> list[str]:
     return sorted(SCENARIOS)
 
 
-def make_scenario(name: str, seed: int = 0) -> ChaosScenario:
-    """Instantiate a named scenario for the given seed."""
+def make_scenario(
+    name: str, seed: int = 0, failure_mode: str | None = None
+) -> ChaosScenario:
+    """Instantiate a named scenario for the given seed.
+
+    ``failure_mode`` overrides the scenario's default (``detector``):
+    golden-trace tests pin ``oracle`` to keep the legacy byte-identical
+    traces, and A/B comparisons run the same scenario in both modes.
+    """
     try:
         factory = SCENARIOS[name]
     except KeyError as exc:
         raise ValueError(
             f"unknown scenario {name!r} (known: {', '.join(scenario_names())})"
         ) from exc
-    return factory(seed)
+    scenario = factory(seed)
+    if failure_mode is not None:
+        scenario.failure_mode = failure_mode
+    return scenario

@@ -81,6 +81,15 @@ class ScenarioResult:
     disruptions: list[tuple[int, str, str]]
     event_log: tuple[str, ...]
     network_counters: dict[str, int]
+    #: how the run noticed failures: ``detector`` (heartbeats) or ``oracle``
+    failure_mode: str = "detector"
+    #: (scenario tick, peer) failure-detector confirmations, in order
+    detections: list[tuple[int, str]] = field(default_factory=list)
+    #: (scenario tick, peer) detector rejoin handshakes, in order
+    rejoins: list[tuple[int, str]] = field(default_factory=list)
+    #: (scenario tick, trigger, peer, outcome) recovery events, in order
+    recovery_timeline: list[tuple[int, str, str, str]] = field(default_factory=list)
+    reliability_counters: dict[str, int] = field(default_factory=dict)
     invariants: list[InvariantResult] = field(default_factory=list)
 
     @property
@@ -117,7 +126,12 @@ class ScenarioResult:
                 for event in self.recovery_events
             ],
             "disruptions": [list(entry) for entry in self.disruptions],
+            "failure_mode": self.failure_mode,
+            "detections": [list(entry) for entry in self.detections],
+            "rejoins": [list(entry) for entry in self.rejoins],
+            "recovery_timeline": [list(entry) for entry in self.recovery_timeline],
             "network": dict(self.network_counters),
+            "reliability": dict(self.reliability_counters),
             "fingerprint": self.fingerprint,
             "invariants": [
                 {"name": inv.name, "ok": inv.ok, "detail": inv.detail}
@@ -141,22 +155,37 @@ class ChaosScenario:
     churn: ChurnSpec | None = None
     invariants: tuple[str, ...] = ("no-duplicates",)
     description: str = ""
+    #: how the system notices failures.  ``detector`` (the default) makes
+    #: every fail/revive *silent* -- the system only has its heartbeats;
+    #: ``oracle`` restores the legacy synchronous lifecycle notifications
+    failure_mode: str = "detector"
+    #: route Stream Definition DB + deployment control over retrying RPC
+    reliable_control: bool = False
+    #: install the fault model before the subscription is submitted, so the
+    #: control plane itself runs over the faulty network
+    apply_faults_before_subscribe: bool = False
 
     # -- execution ---------------------------------------------------------------
 
     def run(self) -> ScenarioResult:
-        system = P2PMSystem(seed=self.seed)
+        system = P2PMSystem(
+            seed=self.seed,
+            failure_mode=self.failure_mode,
+            reliable_control=self.reliable_control,
+        )
         sources = [f"s{i}" for i in range(self.n_sources)]
         for source in sources:
             system.add_peer(source)
         monitor = system.add_peer("monitor")
         system.network.record_events = True
 
+        if self.apply_faults_before_subscribe and self.fault_model is not None:
+            system.network.set_fault_model(self.fault_model)
         handle = monitor.subscribe(
             self._subscription_text(sources), sub_id=f"{self.name}-sub"
         )
         system.run()
-        if self.fault_model is not None:
+        if self.fault_model is not None and not self.apply_faults_before_subscribe:
             system.network.set_fault_model(self.fault_model)
 
         received: list[tuple[str, int]] = []
@@ -169,6 +198,26 @@ class ChaosScenario:
         workload = ChaosFeedWorkload(sources)
         churn_rng = random.Random(f"{self.seed}:churn")
         disruptions: list[tuple[int, str, str]] = []
+        detections: list[tuple[int, str]] = []
+        rejoins: list[tuple[int, str]] = []
+        recovery_timeline: list[tuple[int, str, str, str]] = []
+        timeline_marks = [0, 0, 0]
+
+        def drain_timelines(tick: int) -> None:
+            """Attribute new detector/recovery entries to scenario ``tick``."""
+            detector = system.detector
+            if detector is not None:
+                for _, peer_id in detector.confirmations[timeline_marks[0]:]:
+                    detections.append((tick, peer_id))
+                timeline_marks[0] = len(detector.confirmations)
+                for _, peer_id in detector.rejoins[timeline_marks[1]:]:
+                    rejoins.append((tick, peer_id))
+                timeline_marks[1] = len(detector.rejoins)
+            for event in system.recovery.events[timeline_marks[2]:]:
+                recovery_timeline.append(
+                    (tick, event.trigger, event.peer_id, event.outcome)
+                )
+            timeline_marks[2] = len(system.recovery.events)
 
         for tick in range(self.ticks):
             for action in self.schedule:
@@ -176,9 +225,11 @@ class ChaosScenario:
                     self._apply(system, handle, sources, action, tick, disruptions)
             if self.churn is not None:
                 self._churn_step(system, sources, churn_rng, tick, disruptions)
+            system.tick()  # heartbeats + channel retransmissions (detector mode)
             system.run()  # settle the control plane before emitting
             workload.tick(system, tick)
             system.run()
+            drain_timelines(tick)
 
         # drain: lift every fault, then keep emitting so "eventually
         # delivered" invariants have something to check
@@ -190,8 +241,13 @@ class ChaosScenario:
             system.revive_peer(peer_id)
         system.run()
         for tick in range(self.ticks, self.ticks + self.drain_ticks):
+            # detector-mode revivals reintegrate through the rejoin
+            # handshake, which needs detector rounds to be heard
+            system.tick()
+            system.run()
             workload.tick(system, tick)
             system.run()
+            drain_timelines(tick)
         system.run()
 
         result = ScenarioResult(
@@ -212,6 +268,11 @@ class ChaosScenario:
                 "held": system.network.messages_held,
                 "dropped_peer_down": system.network.messages_dropped_peer_down,
             },
+            failure_mode=self.failure_mode,
+            detections=detections,
+            rejoins=rejoins,
+            recovery_timeline=recovery_timeline,
+            reliability_counters=system.network.stats.reliability_snapshot(),
         )
         result.invariants = [
             check_invariant(name, result) for name in self.invariants

@@ -68,6 +68,110 @@ def _drain_delivered(result: "ScenarioResult") -> tuple[bool, str]:
     return not missing, f"{len(missing)} of {len(expected)} drain-phase alerts missing"
 
 
+def _fail_windows(
+    result: "ScenarioResult",
+) -> list[tuple[int, str, int]]:
+    """Each ``fail`` disruption as ``(fail_tick, peer, down_until)``.
+
+    ``down_until`` is the tick of the peer's next scheduled revive, or the
+    drain start (where every peer is revived) when none is scheduled.
+    """
+    revives = [
+        (tick, peer)
+        for tick, action, peer in result.disruptions
+        if action == "revive"
+    ]
+    windows = []
+    for tick, action, peer in result.disruptions:
+        if action != "fail":
+            continue
+        down_until = min(
+            (t for t, p in revives if p == peer and t > tick),
+            default=result.drain_start,
+        )
+        windows.append((tick, peer, down_until))
+    return windows
+
+
+def _detects_within(result: "ScenarioResult", bound: int) -> tuple[bool, str]:
+    """Every silent kill is confirmed by the detector within ``bound`` ticks.
+
+    A fail whose peer revives before the deadline needs no detection (the
+    suspicion debounce is *supposed* to absorb it); any detection not
+    attributable to a fail is a false positive.  Vacuously true in oracle
+    mode, where there is no detector to measure.
+    """
+    if result.failure_mode != "detector":
+        return True, "oracle mode: no detector to measure"
+    unmatched = list(result.detections)
+    violations: list[str] = []
+    latencies: list[int] = []
+    fails = _fail_windows(result)
+    for fail_tick, peer, down_until in fails:
+        match = next(
+            (
+                entry
+                for entry in unmatched
+                if entry[1] == peer and fail_tick < entry[0] <= fail_tick + bound
+            ),
+            None,
+        )
+        if match is not None:
+            unmatched.remove(match)
+            latencies.append(match[0] - fail_tick)
+            continue
+        if down_until <= fail_tick + bound:
+            continue  # revived before the deadline: nothing to detect
+        violations.append(f"{peer} failed at {fail_tick}, undetected by {fail_tick + bound}")
+    for tick, peer in unmatched:
+        if not any(p == peer and t < tick for t, p, _ in fails):
+            violations.append(f"false-positive detection of {peer} at tick {tick}")
+    detail = (
+        f"{len(latencies)} detections, max latency "
+        f"{max(latencies) if latencies else 0} ticks (bound {bound})"
+    )
+    if violations:
+        detail += "; " + "; ".join(violations)
+    return not violations, detail
+
+
+def _recovers_within(result: "ScenarioResult", bound: int) -> tuple[bool, str]:
+    """Every sustained failure triggers recovery within ``bound`` ticks.
+
+    For each fail whose peer stays down past ``fail_tick + bound`` there
+    must be a failure-triggered recovery event for that peer no later than
+    the deadline (in detector mode this includes the detection latency; in
+    oracle mode recovery is synchronous with the fail).
+    """
+    violations: list[str] = []
+    latencies: list[int] = []
+    for fail_tick, peer, down_until in _fail_windows(result):
+        if down_until <= fail_tick + bound:
+            continue  # revived before the deadline: recovery may never trigger
+        hit = next(
+            (
+                tick
+                for tick, trigger, p, _outcome in result.recovery_timeline
+                if trigger == "failure" and p == peer
+                and fail_tick <= tick <= fail_tick + bound
+            ),
+            None,
+        )
+        if hit is None:
+            violations.append(
+                f"{peer} failed at {fail_tick}: no recovery by {fail_tick + bound}"
+            )
+        else:
+            latencies.append(hit - fail_tick)
+    detail = (
+        f"{len(latencies)} recoveries, max latency "
+        f"{max(latencies) if latencies else 0} ticks (bound {bound})"
+    )
+    if violations:
+        detail += "; " + "; ".join(violations)
+    return not violations, detail
+
+
 #: Registry of invariant checks, by the name scenarios refer to them with.
 INVARIANTS: dict[str, InvariantCheck] = {
     "no-duplicates": _no_duplicates,
@@ -76,14 +180,28 @@ INVARIANTS: dict[str, InvariantCheck] = {
     "drain-delivered": _drain_delivered,
 }
 
+#: Parametric invariants: referred to as ``<name>:<bound>``, e.g.
+#: ``detects-within:4``.
+PARAMETRIC_INVARIANTS: dict[str, Callable[["ScenarioResult", int], tuple[bool, str]]] = {
+    "detects-within": _detects_within,
+    "recovers-within": _recovers_within,
+}
+
 
 def check(name: str, result: "ScenarioResult") -> InvariantResult:
     """Evaluate one named invariant against a scenario result."""
+    if ":" in name:
+        base, _, argument = name.partition(":")
+        parametric = PARAMETRIC_INVARIANTS.get(base)
+        if parametric is not None:
+            ok, detail = parametric(result, int(argument))
+            return InvariantResult(name, ok, detail)
     try:
         checker = INVARIANTS[name]
     except KeyError as exc:
+        known = sorted(INVARIANTS) + [f"{n}:<D>" for n in sorted(PARAMETRIC_INVARIANTS)]
         raise ValueError(
-            f"unknown invariant {name!r} (known: {', '.join(sorted(INVARIANTS))})"
+            f"unknown invariant {name!r} (known: {', '.join(known)})"
         ) from exc
     ok, detail = checker(result)
     return InvariantResult(name, ok, detail)

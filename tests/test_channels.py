@@ -209,3 +209,173 @@ class TestExactlyOnceDelivery:
         assert proxy.accept_seq(window * 3 - 1) is False
         # a seq far below the floor is treated as already seen (safe direction)
         assert proxy.accept_seq(0) is False
+
+
+class TestReliableDelivery:
+    """Acknowledged delivery: outboxes, retransmission, takeover, adoption."""
+
+    def build(self, seed=2):
+        network = SimNetwork(seed=seed)
+        publisher = Peer("pub.com", network)
+        subscriber = Peer("sub.com", network)
+        publisher.channels.reliable = True
+        subscriber.channels.reliable = True
+        stream = publisher.create_stream("alerts")
+        publisher.publish_channel("X", stream)
+        proxy = subscriber.subscribe_channel("pub.com", "X")
+        network.run()
+        return network, publisher, subscriber, stream, proxy
+
+    def test_retransmission_recovers_from_total_loss(self):
+        from repro.net import FaultModel
+
+        network, publisher, subscriber, stream, proxy = self.build()
+        received = collect(proxy)
+        network.set_fault_model(FaultModel(loss_rate=1.0))
+        for i in range(3):
+            stream.emit(Element("alert", {"n": str(i)}))
+        network.run()
+        assert received == []
+        channel = publisher.channels.published("X")
+        assert len(channel.outbox["sub.com"]) == 3  # held until acked
+        network.set_fault_model(None)
+        publisher.channels.retransmit_tick()
+        network.run()
+        assert [e.attrib["n"] for e in received] == ["0", "1", "2"]
+        assert network.stats.items_retransmitted == 3
+        # the acks drained the outbox: nothing left to re-send
+        assert not channel.outbox
+        publisher.channels.retransmit_tick()
+        assert network.stats.items_retransmitted == 3
+
+    def test_confirmed_dead_subscriber_is_not_retransmitted_to(self):
+        network, publisher, subscriber, stream, proxy = self.build()
+        network.fail_peer("sub.com", notify=False)
+        publisher.channels.handle_peer_death("sub.com")
+        stream.emit(Element("alert", {"n": "0"}))
+        network.run()
+        publisher.channels.retransmit_tick()
+        network.run()
+        # the item waits in the outbox instead of burning retries
+        assert network.stats.items_retransmitted == 0
+        channel = publisher.channels.published("X")
+        assert len(channel.outbox["sub.com"]) == 1
+
+    def test_takeover_subscriber_claims_orphaned_items(self):
+        network, publisher, subscriber, stream, proxy = self.build()
+        network.fail_peer("sub.com", notify=False)
+        publisher.channels.handle_peer_death("sub.com")
+        for i in range(2):
+            stream.emit(Element("alert", {"n": str(i)}))
+        network.run()
+        taker = Peer("taker.com", network)
+        taker.channels.reliable = True
+        takeover_proxy = taker.subscribe_channel("pub.com", "X")
+        network.run()  # admit_subscriber claims the dead consumer's items
+        received = collect(takeover_proxy)
+        channel = publisher.channels.published("X")
+        assert channel.subscribers == {"taker.com"}  # claim supersedes dead
+        assert channel.dead == set()
+        # staged replays flush on the next tick, as fresh sequenced items
+        publisher.channels.retransmit_tick()
+        network.run()
+        assert [e.attrib["n"] for e in received] == ["0", "1"]
+        assert network.stats.items_replayed == 2
+
+    def test_rejoining_subscriber_resumes_without_loss(self):
+        network, publisher, subscriber, stream, proxy = self.build()
+        received = collect(proxy)
+        network.fail_peer("sub.com", notify=False)
+        publisher.channels.handle_peer_death("sub.com")
+        for i in range(2):
+            stream.emit(Element("alert", {"n": str(i)}))
+        network.run()
+        assert received == []
+        network.revive_peer("sub.com", notify=False)
+        publisher.channels.handle_peer_rejoin("sub.com")
+        publisher.channels.retransmit_tick()
+        network.run()
+        assert [e.attrib["n"] for e in received] == ["0", "1"]
+
+    def test_unreachable_undetected_subscriber_sheds_at_retry_limit(self):
+        network, publisher, subscriber, stream, proxy = self.build()
+        # down but never confirmed dead: the detector hasn't spoken, so the
+        # sweep keeps trying until the per-item retry budget runs out
+        network.fail_peer("sub.com", notify=False)
+        stream.emit(Element("alert", {"n": "0"}))
+        network.run()
+        limit = publisher.channels.RETRY_LIMIT
+        for _ in range(limit + 1):
+            publisher.channels.retransmit_tick()
+            network.run()
+        assert network.stats.items_retransmitted == limit
+        assert network.stats.items_shed == 1
+        assert not publisher.channels.published("X").outbox
+
+    def test_adopted_orphans_reach_the_successor_channel(self):
+        network = SimNetwork(seed=4)
+        publisher = Peer("pub.com", network)
+        consumer = Peer("c1.com", network)
+        publisher.channels.reliable = True
+        consumer.channels.reliable = True
+        old_stream = publisher.create_stream("job.e0.s1")
+        publisher.publish_channel("job.e0.s1", old_stream)
+        consumer.subscribe_channel("pub.com", "job.e0.s1")
+        network.run()
+        network.fail_peer("c1.com", notify=False)
+        publisher.channels.handle_peer_death("c1.com")
+        for i in range(2):
+            old_stream.emit(Element("alert", {"n": str(i)}))
+        network.run()
+        # the redeploy publishes the same operator output under the next
+        # epoch's name; a fresh consumer subscribes to the new incarnation
+        new_stream = publisher.create_stream("job.e1.s1")
+        publisher.publish_channel("job.e1.s1", new_stream)
+        taker = Peer("c2.com", network)
+        taker.channels.reliable = True
+        takeover_proxy = taker.subscribe_channel("pub.com", "job.e1.s1")
+        network.run()
+        received = collect(takeover_proxy)
+        assert publisher.channels.adopt_orphans("job.e0.s1", new_stream) == 2
+        # the adoption holds one round (the deploy tick's subscribe traffic
+        # may still be in flight), then emits into the successor
+        publisher.channels.retransmit_tick()
+        network.run()
+        assert received == []
+        publisher.channels.retransmit_tick()
+        network.run()
+        assert [e.attrib["n"] for e in received] == ["0", "1"]
+        assert network.stats.items_replayed == 2
+
+    def test_adoption_sheds_when_the_successor_never_gains_consumers(self):
+        network = SimNetwork(seed=5)
+        publisher = Peer("pub.com", network)
+        consumer = Peer("c1.com", network)
+        publisher.channels.reliable = True
+        old_stream = publisher.create_stream("job.e0.s1")
+        publisher.publish_channel("job.e0.s1", old_stream)
+        publisher.channels.admit_subscriber("job.e0.s1", "c1.com")
+        network.fail_peer("c1.com", notify=False)
+        publisher.channels.handle_peer_death("c1.com")
+        old_stream.emit(Element("alert"))
+        new_stream = publisher.create_stream("job.e1.s1")
+        publisher.publish_channel("job.e1.s1", new_stream)
+        assert publisher.channels.adopt_orphans("job.e0.s1", new_stream) == 1
+        for _ in range(publisher.channels.RETRY_LIMIT + 2):
+            publisher.channels.retransmit_tick()
+        assert network.stats.items_shed == 1
+        assert publisher.channels._pending_adoptions == []
+
+    def test_unpublish_exact_only_removes_the_given_incarnation(self):
+        network = SimNetwork(seed=6)
+        publisher = Peer("pub.com", network)
+        old = publisher.publish_channel("X", publisher.create_stream("old"))
+        assert publisher.channels.unpublish_exact("X", old) is True
+        assert not publisher.channels.publishes("X")
+        # the name is reused by a replacement; a stale teardown holding the
+        # old channel object must not tear the replacement down
+        new = publisher.publish_channel("X", publisher.create_stream("new"))
+        assert publisher.channels.unpublish_exact("X", old) is False
+        assert publisher.channels.published("X") is new
+        assert publisher.channels.unpublish_exact("X", new) is True
+        assert not publisher.channels.publishes("X")

@@ -40,8 +40,15 @@ GOLDEN_FINGERPRINTS = {
     ("lossy-network", 0): (
         "1dfc3881162bba9eefbf37cebb15a79fdeaf63450b9abd9d633d7dbca238dcdf"
     ),
+    # re-pinned twice: first when dead-destination drops became symmetric
+    # (sends *to* an already-failed peer drop at send time, moving 15
+    # churn-soak drop lines earlier in the trace), then when recovery
+    # redeployment became make-before-break (the replacement deploys before
+    # the old incarnation is torn down, so unpublish/EOS traffic now follows
+    # the new subscribes).  The other three scenarios never redeploy and
+    # never send to a down peer, so their traces are untouched.
     ("churn-soak", 42): (
-        "e8622c218322e350788856f39e7ace329e782a323247f945bdb28175f7a5d1c8"
+        "d9e1656c98e27aaee85be891ec2af41c08f5ef1245a25648fd0148849db22091"
     ),
 }
 
@@ -60,7 +67,10 @@ GOLDEN_FANOUT_DELIVERIES = 488
 class TestSchedulerDifferential:
     @pytest.mark.parametrize("name,seed", sorted(GOLDEN_FINGERPRINTS))
     def test_chaos_scenario_fingerprints_unchanged(self, name: str, seed: int):
-        result = make_scenario(name, seed=seed).run()
+        # oracle mode pins the legacy trace: no heartbeats, no acks, no
+        # retransmissions -- the detector-mode machinery must stay fully
+        # inert when the failure oracle is on
+        result = make_scenario(name, seed=seed, failure_mode="oracle").run()
         assert result.ok, [inv for inv in result.invariants if not inv.ok]
         assert result.fingerprint == GOLDEN_FINGERPRINTS[(name, seed)]
 
