@@ -17,8 +17,15 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_e2e_throughput.py --quick \
         --output /tmp/bench_e2e.json --compare BENCH_e2e.json --tolerance 0.4
 
-``--compare`` matches rows by ``(subscribers, faults)`` and fails when any
-matched row's ``deliveries_per_sec`` regressed beyond ``--tolerance``.
+``--compare`` matches fan-out rows by ``(subscribers, faults)`` and pipeline
+rows by ``(subscribers, mode)``, failing when any matched row's
+``deliveries_per_sec`` regressed beyond ``--tolerance``.
+
+The PIPELINE experiment deploys real subscriptions (filter -> restructure
+plans over one alerter feed, reuse disabled so every subscription runs its
+own plan) and measures publish -> deliver throughput in both execution
+modes; the ``compile_speedup_*`` summary entries track the compiled-mode
+gain the plan compiler is gated on.
 """
 
 from __future__ import annotations
@@ -34,9 +41,11 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
+from repro.monitor import P2PMSystem  # noqa: E402
 from repro.net.faults import FaultModel  # noqa: E402
 from repro.net.peer import Peer  # noqa: E402
 from repro.net.simnet import SimNetwork  # noqa: E402
+from repro.workloads.chaos_feed import CHAOS_FUNCTION  # noqa: E402
 from repro.xmlmodel.tree import Element  # noqa: E402
 
 #: Macro-path throughput measured immediately before the delivery fast path
@@ -137,46 +146,149 @@ def measure(
     }
 
 
+def build_pipeline_workload(
+    mode: str, n_subscribers: int, seed: int = 11
+) -> tuple[P2PMSystem, object, list[int]]:
+    """One peer, one alerter feed, ``n_subscribers`` deployed plan pipelines.
+
+    Subscriptions share one restructure template (so compiled mode's CSE
+    table gets system-wide hits) while cycling through 10 distinct filter
+    thresholds (so the compiled-plan cache sees both hits and misses);
+    ``reuse=False`` keeps every subscription on its own plan -- the benchmark
+    measures per-plan execution, which is exactly what compilation fuses.
+    """
+    system = P2PMSystem(seed=seed, execution_mode=mode)
+    peer = system.add_peer("bench")
+    texts = [
+        f'for $x in {CHAOS_FUNCTION}(<p>bench</p>) '
+        f'where $x.kind = "chaos" and $x.n >= {k % 10} '
+        "return <seen><src>{$x.source}</src><n>{$x.n}</n></seen>"
+        for k in range(n_subscribers)
+    ]
+    handles = peer.subscribe_many(
+        texts, sub_ids=[f"b{k}" for k in range(n_subscribers)], reuse=False
+    )
+    counters = [0] * n_subscribers
+
+    def make_sink(index: int):
+        def sink(item: object) -> None:
+            counters[index] += 1
+
+        return sink
+
+    for index, handle in enumerate(handles):
+        handle.on_result(make_sink(index))
+    system.run()
+    alerter = peer.alerter(CHAOS_FUNCTION)
+    return system, alerter, counters
+
+
+def measure_pipeline(
+    mode: str, n_subscribers: int, n_items: int, rounds: int, seed: int = 11
+) -> dict:
+    """Best-of-``rounds`` publish+deliver timing through deployed plans."""
+    system, alerter, counters = build_pipeline_workload(mode, n_subscribers, seed)
+    best_elapsed = float("inf")
+    best_delivered = 0
+    next_n = 10  # past every threshold, so each item passes all filters
+    for _ in range(rounds):
+        before = sum(counters)
+        start = time.perf_counter()
+        for i in range(n_items):
+            alerter.emit_numbered(next_n + i)
+        system.run()
+        elapsed = time.perf_counter() - start
+        next_n += n_items
+        delivered = sum(counters) - before
+        if delivered / elapsed > (
+            best_delivered / best_elapsed if best_elapsed < float("inf") else 0.0
+        ):
+            best_elapsed = elapsed
+            best_delivered = delivered
+    return {
+        "experiment": "PIPELINE",
+        "subscribers": n_subscribers,
+        "mode": mode,
+        "items": n_items,
+        "best_seconds": round(best_elapsed, 6),
+        "items_per_sec": round(n_items / best_elapsed, 1),
+        "deliveries_per_sec": round(best_delivered / best_elapsed, 1),
+        "deliveries": best_delivered,
+    }
+
+
 def run(quick: bool = False) -> dict:
     if quick:
         matrix = [(100, 100, 2), (1000, 25, 2)]
+        pipeline_matrix = [(1000, 25, 2)]
     else:
         matrix = [(100, 200, 3), (1000, 50, 3), (10000, 10, 1)]
+        pipeline_matrix = [(1000, 50, 3), (10000, 10, 1)]
     rows: list[dict] = []
     for n_subscribers, n_items, rounds in matrix:
         for fault_model in (None, BENCH_FAULTS):
             rows.append(measure(n_subscribers, n_items, rounds, fault_model))
+    for n_subscribers, n_items, rounds in pipeline_matrix:
+        for mode in ("interpreted", "compiled"):
+            rows.append(measure_pipeline(mode, n_subscribers, n_items, rounds))
     summary: dict = {"suite": "e2e", "quick": quick, "throughput": rows}
     baseline = PRE_PR_BASELINE.get("deliveries_per_sec_at_1k_subscribers_perfect")
     row_1k = next(
-        (r for r in rows if r["subscribers"] == 1000 and not r["faults"]), None
+        (r for r in rows if r["subscribers"] == 1000 and row_is_fanout(r) and not r["faults"]),
+        None,
     )
     if baseline and row_1k is not None:
         summary["pre_pr_baseline"] = PRE_PR_BASELINE
         summary["speedup_vs_pre_pr_1k"] = round(
             row_1k["deliveries_per_sec"] / baseline, 2
         )
+    for size in (1000, 10000):
+        by_mode = {
+            row["mode"]: row["deliveries_per_sec"]
+            for row in rows
+            if not row_is_fanout(row) and row["subscribers"] == size
+        }
+        if "interpreted" in by_mode and "compiled" in by_mode:
+            summary[f"compile_speedup_{size // 1000}k"] = round(
+                by_mode["compiled"] / by_mode["interpreted"], 2
+            )
     return summary
 
 
+def row_is_fanout(row: dict) -> bool:
+    return row.get("experiment", "E2E") == "E2E"
+
+
+def _row_key(row: dict) -> tuple:
+    """Fan-out rows match on (subscribers, faults); pipeline rows on
+    (subscribers, execution mode)."""
+    if row_is_fanout(row):
+        return ("E2E", row["subscribers"], row["faults"])
+    return ("PIPELINE", row["subscribers"], row["mode"])
+
+
 def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Rows matched by (subscribers, faults); regression when deliveries/sec
+    """Rows matched by :func:`_row_key`; regression when deliveries/sec
     falls more than ``tolerance`` below the baseline row."""
     problems: list[str] = []
     matched = 0
     baseline_rows = {
-        (row["subscribers"], row["faults"]): row
-        for row in baseline.get("throughput", [])
+        _row_key(row): row for row in baseline.get("throughput", [])
     }
     for row in summary.get("throughput", []):
-        reference = baseline_rows.get((row["subscribers"], row["faults"]))
+        reference = baseline_rows.get(_row_key(row))
         if reference is None:
             continue
         matched += 1
         floor = reference["deliveries_per_sec"] * (1.0 - tolerance)
         if row["deliveries_per_sec"] < floor:
+            label = (
+                f"subs={row['subscribers']},faults={row['faults']}"
+                if row_is_fanout(row)
+                else f"subs={row['subscribers']},mode={row['mode']}"
+            )
             problems.append(
-                f"e2e[subs={row['subscribers']},faults={row['faults']}]: "
+                f"e2e[{label}]: "
                 f"{row['deliveries_per_sec']:.1f} deliveries/s is below "
                 f"{floor:.1f} (baseline {reference['deliveries_per_sec']:.1f} "
                 f"- {tolerance:.0%} tolerance)"
@@ -219,15 +331,23 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.output)
     out_path.write_text(json.dumps(summary, indent=2) + "\n")
     for row in summary["throughput"]:
-        faults = "faulty " if row["faults"] else "perfect"
+        if row_is_fanout(row):
+            label = "faulty " if row["faults"] else "perfect"
+            prefix = "E2E"
+        else:
+            label = f"{row['mode']:<11}"
+            prefix = "PIPE"
         print(
-            f"E2E {faults} subs={row['subscribers']:>6}  "
+            f"{prefix} {label} subs={row['subscribers']:>6}  "
             f"{row['items_per_sec']:>9.1f} items/s  "
             f"{row['deliveries_per_sec']:>11.1f} deliveries/s"
         )
     if "speedup_vs_pre_pr_1k" in summary:
         print(f"speedup vs pre-PR baseline at 1k subscribers: "
               f"{summary['speedup_vs_pre_pr_1k']}x")
+    for key in ("compile_speedup_1k", "compile_speedup_10k"):
+        if key in summary:
+            print(f"{key.replace('_', ' ')}: {summary[key]}x")
     print(f"wrote {out_path}")
     if baseline is not None:
         problems = compare_to_baseline(summary, baseline, args.tolerance)

@@ -4,16 +4,58 @@ Claim: checking cheap simple conditions first and running tree-pattern
 queries only for the active subscriptions sustains far higher item rates
 than evaluating every subscription on every item, and the gap widens with
 the number of subscriptions.
+
+The E2-COMPILED rows measure the ``execution_mode="compiled"`` data path
+over the same workload: one fused predicate closure per compilable
+subscription (no complex tree-pattern queries -- those split to the
+interpreter, mirroring the PlanCompiler's fallback rule) sharing verdicts
+through the system-wide :class:`MaterializedTable`.
 """
 
 import pytest
 
+from repro.algebra.expr import intern_signature
+from repro.compile import MISS, MaterializedTable
 from repro.filtering import FilterOperator, NaiveFilter
+from repro.filtering.conditions import compile_simple_predicate
 
 from benchmarks.conftest import make_alert_items, make_subscription_set
 
 SUBSCRIPTION_COUNTS = [10, 100, 1000, 3000]
 N_ITEMS = 150
+
+
+def compiled_predicate_set(subscriptions):
+    """(interned signature, fused predicate) per compilable subscription.
+
+    Subscriptions carrying complex tree-pattern queries are skipped: the
+    PlanCompiler leaves those on the interpreted FilterOperator, so the
+    compiled rows measure exactly the set the fused path would own.
+    """
+    compiled = []
+    for subscription in subscriptions:
+        if subscription.complex_queries:
+            continue
+        detail = ";".join(
+            f"{c.attribute}{c.op}{c.value!r}" for c in subscription.simple
+        )
+        computed = ";".join(repr(c) for c in subscription.computed)
+        signature = intern_signature(f"filter:{detail}|{computed}")
+        compiled.append((signature, compile_simple_predicate(subscription)))
+    return compiled
+
+
+def run_compiled_predicates(items, compiled, table):
+    """Evaluate every fused predicate on every item, CSE'd through the table."""
+    matches = 0
+    for item in items:
+        for signature, predicate in compiled:
+            verdict = table.get(signature, item)
+            if verdict is MISS:
+                verdict = table.put(signature, item, predicate(item))
+            if verdict:
+                matches += 1
+    return matches
 
 
 @pytest.mark.parametrize("n_subscriptions", SUBSCRIPTION_COUNTS)
@@ -52,6 +94,44 @@ def test_naive_filter_throughput(benchmark, n_subscriptions):
     benchmark.extra_info["subscriptions"] = n_subscriptions
     benchmark.extra_info["items"] = N_ITEMS
     benchmark.extra_info["matches"] = matches
+
+
+@pytest.mark.parametrize("n_subscriptions", SUBSCRIPTION_COUNTS)
+def test_compiled_predicate_throughput(benchmark, n_subscriptions):
+    items = make_alert_items(N_ITEMS, seed=1)
+    subscriptions = make_subscription_set(n_subscriptions, seed=2)
+    compiled = compiled_predicate_set(subscriptions)
+    table = MaterializedTable()
+
+    def run():
+        return run_compiled_predicates(items, compiled, table)
+
+    matches = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["experiment"] = "E2-COMPILED"
+    benchmark.extra_info["strategy"] = "compiled"
+    benchmark.extra_info["subscriptions"] = n_subscriptions
+    benchmark.extra_info["compiled_subscriptions"] = len(compiled)
+    benchmark.extra_info["items"] = N_ITEMS
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["cse_hits"] = table.hits
+
+
+def test_compiled_predicates_agree_with_naive(benchmark):
+    """The fused closures give the naive oracle's verdict per subscription."""
+    items = make_alert_items(50, seed=3)
+    subscriptions = make_subscription_set(200, seed=4)
+    compilable = [s for s in subscriptions if not s.complex_queries]
+    naive = NaiveFilter(compilable)
+    compiled = compiled_predicate_set(subscriptions)
+    assert len(compiled) == len(compilable)
+    table = MaterializedTable()
+
+    def run():
+        return run_compiled_predicates(items, compiled, table)
+
+    matches = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = sum(len(naive.process(item).matched) for item in items)
+    assert matches == expected
 
 
 def test_both_strategies_agree(benchmark):

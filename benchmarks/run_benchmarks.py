@@ -50,7 +50,12 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
         sys.path.insert(0, entry)
 
 from benchmarks.conftest import make_alert_items, make_subscription_set  # noqa: E402
+from benchmarks.bench_filter_scaling import (  # noqa: E402
+    compiled_predicate_set,
+    run_compiled_predicates,
+)
 from benchmarks.bench_yfilter import make_path_queries  # noqa: E402
+from repro.compile import MaterializedTable  # noqa: E402
 from repro.filtering import FilterOperator, NaiveFilter, YFilterSigma  # noqa: E402
 
 
@@ -114,6 +119,48 @@ def bench_filter_scaling(
                     ),
                     4,
                 ),
+            }
+        )
+    return results
+
+
+def bench_compiled_filter(
+    subscription_counts: list[int], n_items: int, rounds: int
+) -> list[dict]:
+    """E2-COMPILED: fused predicate closures CSE'd through MaterializedTable.
+
+    The ``execution_mode="compiled"`` data path over the E2 workload: one
+    fused closure per compilable subscription (complex tree-pattern queries
+    split to the interpreter, as in the PlanCompiler's fallback rules),
+    sharing per-item verdicts across identical signatures.
+    """
+    results = []
+    items = make_alert_items(n_items, seed=1)
+    for n_subscriptions in subscription_counts:
+        subscriptions = make_subscription_set(n_subscriptions, seed=2)
+        build_start = time.perf_counter()
+        compiled = compiled_predicate_set(subscriptions)
+        build_seconds = time.perf_counter() - build_start
+        table = MaterializedTable()
+        run_compiled_predicates(items, compiled, table)  # warm + intern
+        table.hits = table.misses = 0
+        best = float("inf")
+        matches = 0
+        for _ in range(rounds):
+            start = time.perf_counter()
+            matches = run_compiled_predicates(items, compiled, table)
+            best = min(best, time.perf_counter() - start)
+        results.append(
+            {
+                "experiment": "E2-COMPILED",
+                "subscriptions": n_subscriptions,
+                "compiled_subscriptions": len(compiled),
+                "items": n_items,
+                "build_seconds": round(build_seconds, 6),
+                "best_seconds": round(best, 6),
+                "items_per_sec": round(_rate(n_items, best), 1),
+                "matches": matches,
+                "cse_hit_rate": round(_hit_rate(table.hits, table.misses), 4),
             }
         )
     return results
@@ -219,6 +266,7 @@ def run(quick: bool = False) -> dict:
             "agrees_with_naive_oracle": True,
         },
         "filter_scaling": bench_filter_scaling(subscription_counts, n_items, rounds),
+        "compiled_filter": bench_compiled_filter(subscription_counts, n_items, rounds),
         "yfilter": bench_yfilter(query_counts, n_items, rounds),
         "naive_reference": bench_naive_reference(naive_subs, naive_items),
     }
@@ -255,7 +303,11 @@ def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list
     """
     problems: list[str] = []
     matched = 0
-    for list_name, size_key in (("filter_scaling", "subscriptions"), ("yfilter", "queries")):
+    for list_name, size_key in (
+        ("filter_scaling", "subscriptions"),
+        ("compiled_filter", "subscriptions"),
+        ("yfilter", "queries"),
+    ):
         baseline_rows = {
             row[size_key]: row for row in baseline.get(list_name, [])
         }
@@ -347,6 +399,12 @@ def main(argv: list[str] | None = None) -> int:
             f"E2 filter  subs={row['subscriptions']:>6}  "
             f"{row['items_per_sec']:>9.1f} items/s  "
             f"mask-cache {row['mask_cache_hit_rate']:.0%}"
+        )
+    for row in summary["compiled_filter"]:
+        print(
+            f"E2 compiled subs={row['subscriptions']:>6}  "
+            f"{row['items_per_sec']:>9.1f} items/s  "
+            f"cse {row['cse_hit_rate']:.0%}"
         )
     for row in summary["yfilter"]:
         print(

@@ -10,8 +10,10 @@ Usage::
 
 Exit codes: 0 all invariants hold (and, with ``--check-determinism``, the
 two same-seed runs produced byte-identical traces); 1 an invariant failed;
-2 the determinism check failed.  The nightly ``chaos-soak`` workflow sweeps
-the (scenario x seed) matrix through this entry point.
+2 the determinism check failed; 3 the ``--compare-modes`` differential found
+a compiled-vs-interpreted fingerprint divergence.  The nightly ``chaos-soak``
+workflow sweeps the (scenario x seed) matrix through this entry point, in
+interpreted mode and with ``--compare-modes``.
 """
 
 from __future__ import annotations
@@ -40,6 +42,19 @@ def main(argv: list[str] | None = None) -> int:
         help="override how failures are noticed (default: the scenario's own, "
         "normally 'detector')",
     )
+    parser.add_argument(
+        "--execution-mode",
+        choices=("interpreted", "compiled"),
+        default=None,
+        help="plan execution mode (default: the scenario's own, normally "
+        "'interpreted')",
+    )
+    parser.add_argument(
+        "--compare-modes",
+        action="store_true",
+        help="also run the scenario in the other execution mode and require "
+        "byte-identical trace fingerprints",
+    )
     parser.add_argument("--list", action="store_true", help="list known scenarios")
     parser.add_argument(
         "--check-determinism",
@@ -57,7 +72,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("a scenario name is required (or --list)")
 
     result = make_scenario(
-        args.scenario, seed=args.seed, failure_mode=args.failure_mode
+        args.scenario,
+        seed=args.seed,
+        failure_mode=args.failure_mode,
+        execution_mode=args.execution_mode,
     ).run()
 
     if args.json:
@@ -77,7 +95,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check_determinism:
         replay = make_scenario(
-            args.scenario, seed=args.seed, failure_mode=args.failure_mode
+            args.scenario,
+            seed=args.seed,
+            failure_mode=args.failure_mode,
+            execution_mode=args.execution_mode,
         ).run()
         if replay.fingerprint != result.fingerprint:
             print(
@@ -86,6 +107,23 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         print("  determinism: identical trace on replay")
+
+    if args.compare_modes:
+        base_mode = args.execution_mode or "interpreted"
+        other_mode = "compiled" if base_mode == "interpreted" else "interpreted"
+        other = make_scenario(
+            args.scenario,
+            seed=args.seed,
+            failure_mode=args.failure_mode,
+            execution_mode=other_mode,
+        ).run()
+        if other.fingerprint != result.fingerprint:
+            print(
+                f"EXECUTION-MODE DIVERGENCE: {base_mode} vs {other_mode} traces "
+                f"differ ({result.fingerprint} vs {other.fingerprint})"
+            )
+            return 3
+        print(f"  execution modes: {other_mode} trace identical to {base_mode}")
 
     return exit_code
 

@@ -12,6 +12,7 @@ is prefixed with ``°`` and a finished one with ``•``.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 #: Placement wildcard used before the placement phase assigns concrete peers.
@@ -148,3 +149,18 @@ class Receive(Expr):
 def generic_services(expr: Expr) -> list[Service]:
     """All services in ``expr`` still placed at the generic ``@any``."""
     return [node for node in expr.walk() if isinstance(node, Service) and node.is_generic]
+
+
+def intern_signature(text: str) -> str:
+    """Intern a textual signature so equal signatures share one object.
+
+    Signature strings are used as dictionary keys throughout the reuse index
+    and the plan compiler's materialized-expression table; interning them makes
+    those lookups pointer-comparison fast on the hit path.
+    """
+    return sys.intern(text)
+
+
+def expr_signature(expr: Expr) -> str:
+    """Interned canonical signature of an algebraic expression."""
+    return intern_signature(str(expr))

@@ -1,0 +1,34 @@
+"""Plan compilation: fused pipeline closures with cross-plan CSE.
+
+Opt-in via ``P2PMSystem(execution_mode="compiled")``.  The compiler partitions
+each deployed plan into maximal linear segments of co-located fusable
+operators, fuses every segment into a single call frame per item
+(:class:`CompiledPipeline`), and memoises identical sub-expressions across all
+co-deployed subscriptions through one system-wide :class:`MaterializedTable`.
+Everything uncompilable falls back, per operator, to the interpreted chain --
+differential tests pin the two modes byte-identical on the network.
+"""
+
+from .cache import CompiledPlanCache
+from .compiler import FALLBACK_REASONS, FUSABLE_KINDS, CompiledStage, PlanCompiler
+from .pipeline import CompiledPipeline
+from .signatures import stage_signature
+from .stats import CompileStats
+from .table import MISS, MaterializedTable
+
+#: Valid values for ``P2PMSystem(execution_mode=...)``.
+EXECUTION_MODES = ("interpreted", "compiled")
+
+__all__ = [
+    "EXECUTION_MODES",
+    "FALLBACK_REASONS",
+    "FUSABLE_KINDS",
+    "MISS",
+    "CompiledPlanCache",
+    "CompiledPipeline",
+    "CompiledStage",
+    "CompileStats",
+    "MaterializedTable",
+    "PlanCompiler",
+    "stage_signature",
+]

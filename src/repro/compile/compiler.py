@@ -1,0 +1,227 @@
+"""Produce/consume plan compiler: fused stages, fallback rules, CSE.
+
+:class:`PlanCompiler` walks a placed plan tree and partitions it into maximal
+*linear segments* of co-located fusable nodes (today: simple FILTER and
+RESTRUCTURE).  Each segment compiles to a tuple of :class:`CompiledStage`
+closures that a :class:`~repro.compile.pipeline.CompiledPipeline` executes in
+a single call frame per item -- no intermediate ``Stream.emit`` hops, no
+per-operator virtual dispatch.
+
+Every node kind that is not fusable carries an explicit fallback reason
+(Kontra-style rule set): stateful operators keep their window/cadence/history
+machinery on the interpreted path, multi-input merges need the stream-level
+EOS accounting, and segment chains split at remote boundaries so network
+behaviour stays byte-identical to interpreted mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.algebra.plan import (
+    ALERTER,
+    DISTINCT,
+    EXISTING,
+    FILTER,
+    GROUP,
+    JOIN,
+    PUBLISH,
+    RESTRUCTURE,
+    UNION,
+    PlanNode,
+)
+from repro.algebra.template import get_binding
+from repro.filtering.conditions import compile_simple_predicate
+
+from .cache import CompiledPlanCache
+from .signatures import stage_signature
+from .stats import CompileStats
+from .table import MISS, MaterializedTable
+
+#: Kinds the compiler can fuse into a pipeline stage.
+FUSABLE_KINDS = (FILTER, RESTRUCTURE)
+
+#: Static fallback rules: operator kind -> why it stays interpreted.
+FALLBACK_REASONS = {
+    JOIN: "stateful-join-window",
+    GROUP: "stateful-group-cadence",
+    DISTINCT: "stateful-distinct-history",
+    UNION: "multi-input-merge",
+    ALERTER: "source-node",
+    EXISTING: "reused-stream-reference",
+    PUBLISH: "delivery-root",
+}
+
+#: Kinds that are plan *sources* rather than operators; hitting one ends a
+#: chain naturally and is not worth reporting as a "fallback".
+_SOURCE_KINDS = (ALERTER, EXISTING)
+
+
+class CompiledStage:
+    """One fused stage: ``apply(item) -> item | None`` in a single call frame."""
+
+    __slots__ = ("kind", "signature", "apply", "table")
+
+    def __init__(
+        self,
+        kind: str,
+        signature: str,
+        apply: Callable[[Any], Any],
+        table: MaterializedTable,
+    ) -> None:
+        self.kind = kind
+        self.signature = signature
+        self.apply = apply
+        self.table = table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledStage({self.kind!r}, {self.signature!r})"
+
+
+class PlanCompiler:
+    """Partitions plans into fusable segments and compiles them to stages."""
+
+    def __init__(
+        self,
+        table: MaterializedTable,
+        cache: CompiledPlanCache,
+        stats: CompileStats,
+    ) -> None:
+        self.table = table
+        self.cache = cache
+        self.stats = stats
+
+    # -- fallback rules ------------------------------------------------------
+
+    def fallback_reason(self, node: PlanNode) -> str | None:
+        """``None`` when ``node`` fuses; otherwise why it stays interpreted."""
+        if node.kind in FUSABLE_KINDS and len(node.children) != 1:
+            return "non-unary-input"
+        if node.kind == FILTER:
+            subscription = node.params.get("subscription")
+            if subscription is None:
+                return "missing-subscription"
+            if subscription.complex_queries:
+                # tree-pattern queries need the filter's extensional
+                # materialized view; fusing them would change laziness
+                return "complex-query-materialization"
+            return None
+        if node.kind == RESTRUCTURE:
+            if node.params.get("template") is None:
+                return "missing-template"
+            return None
+        return FALLBACK_REASONS.get(node.kind, "unknown-operator")
+
+    # -- segment analysis ----------------------------------------------------
+
+    def plan_segments(self, plan: PlanNode) -> dict[int, list[PlanNode]]:
+        """Maximal fusable segments of ``plan``: ``id(tail node) -> chain``.
+
+        Each chain is head-first (closest to the source), every node in it is
+        fusable, unary, and placed on the same peer as the tail.  Keying by
+        the *tail* node's identity lets the deployer intercept exactly the
+        node whose output the parent consumes, deploying the whole chain as
+        one :class:`CompiledPipeline` and recursing below the head.
+        """
+        segments: dict[int, list[PlanNode]] = {}
+        self._analyze(plan, segments)
+        return segments
+
+    def _analyze(self, node: PlanNode, segments: dict[int, list[PlanNode]]) -> None:
+        reason = self.fallback_reason(node)
+        if reason is not None:
+            if node.kind not in _SOURCE_KINDS:
+                self.stats.record_fallback(node.kind, reason)
+            for child in node.children:
+                self._analyze(child, segments)
+            return
+        # ``node`` is a fusable tail; extend the chain towards the source
+        # while the single input is fusable and co-located.
+        chain = [node]
+        cursor = node
+        while True:
+            below = cursor.children[0]
+            if self.fallback_reason(below) is not None:
+                # the recursion below the head re-visits this child and
+                # records its fallback reason exactly once
+                break
+            if below.placement != cursor.placement:
+                # fusable but on another peer: the chain splits here and the
+                # remote hop stays a real channel, exactly as interpreted
+                self.stats.record_remote_split()
+                break
+            chain.append(below)
+            cursor = below
+        chain.reverse()  # head (source side) first
+        segments[id(node)] = chain
+        self.stats.record_segment(len(chain))
+        # recurse below the head of the chain (its children were not analyzed
+        # above; a remote-split child is a fresh analysis root)
+        for child in chain[0].children:
+            self._analyze(child, segments)
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile_segment(self, chain: list[PlanNode], epoch: int) -> tuple[CompiledStage, ...]:
+        """Compile a head-first chain into its stage tuple, cached per epoch."""
+        signatures = tuple(stage_signature(node) for node in chain)
+        key = (signatures, epoch)
+        program = self.cache.get(key)
+        if program is None:
+            program = tuple(self._stage_for(node) for node in chain)
+            self.cache.put(key, program)
+        # pin the stages on the nodes so a later deployment of the *same*
+        # node objects (and only those) can skip the per-node rebuild; equal
+        # signatures imply interchangeable stages, so cache hits may hand a
+        # node a stage built from a signature-twin
+        for node, stage in zip(chain, program):
+            node._stage = stage
+        return program
+
+    def _stage_for(self, node: PlanNode) -> CompiledStage:
+        stage = node._stage
+        if isinstance(stage, CompiledStage) and stage.table is self.table:
+            return stage
+        return self._build_stage(node)
+
+    def _build_stage(self, node: PlanNode) -> CompiledStage:
+        signature = stage_signature(node)
+        table = self.table
+        if node.kind == FILTER:
+            subscription = node.params["subscription"]
+            predicate = compile_simple_predicate(subscription)
+            # memoise only when the verdict is worth sharing: computed
+            # conditions re-parse attribute numbers and >=3 conditions mean
+            # several closure calls, while 1-2 plain comparisons are cheaper
+            # than the table probe itself
+            if subscription.computed or len(subscription.simple) >= 3:
+
+                def apply(item: Any) -> Any:
+                    verdict = table.get(signature, item)
+                    if verdict is MISS:
+                        verdict = table.put(signature, item, predicate(item))
+                    return item if verdict else None
+
+            else:
+
+                def apply(item: Any) -> Any:
+                    return item if predicate(item) else None
+
+            return CompiledStage(FILTER, signature, apply, table)
+        if node.kind == RESTRUCTURE:
+            template = node.params["template"]
+            var = node.params.get("var")
+            instantiate = template.instantiate
+
+            def apply(item: Any) -> Any:
+                # identical templates across co-deployed subscriptions build
+                # the output tree once per item; sharing the resulting
+                # Element matches the interpreted filter's identity
+                # forwarding -- receivers never mutate delivered items
+                out = table.get(signature, item)
+                if out is MISS:
+                    out = table.put(signature, item, instantiate(get_binding(item, var)))
+                return out
+
+            return CompiledStage(RESTRUCTURE, signature, apply, table)
+        raise ValueError(f"cannot build a compiled stage for kind {node.kind!r}")

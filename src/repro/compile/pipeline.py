@@ -1,0 +1,204 @@
+"""CompiledPipeline: the runtime object replacing an interpreted chain.
+
+A pipeline owns the fused stages of one deployed segment plus one *boundary*
+per stage -- the output stream, its publication channel and a liveness
+snapshot.  Per item the pipeline runs stage after stage inline (one call
+frame, no ``Stream.emit`` between co-located stages) and only writes a
+boundary through when something outside the pipeline actually consumes it:
+
+* the tail boundary always emits (the parent operator / publisher consumes it);
+* an intermediate boundary emits when its channel has remote subscribers or
+  its stream gained subscribers beyond the pipeline's own continuation
+  (stream reuse, replicas, test taps) -- the continuation then carries on, so
+  each item is processed by exactly one path;
+* a *dark* intermediate boundary (no external consumer) is skipped entirely.
+  This is network-invisible: the channel forwarder drops emits into
+  subscriber-less channels before touching sequence numbers, so skipping the
+  emit produces byte-identical traffic.
+
+EOS ordering matches the interpreted operators exactly: each stage entry
+closes its own boundary on EOS, which cascades to the next entry through the
+boundary stream just as ``Operator.on_close`` cascades.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.algebra.plan import FILTER
+from repro.streams.item import is_eos
+from repro.streams.stream import Stream
+
+from .compiler import CompiledStage
+
+
+class _Boundary:
+    """Per-stage output: stream + channel + external-consumer watches."""
+
+    __slots__ = ("stream", "channel", "watches")
+
+    def __init__(self, stream: Stream, channel: Any) -> None:
+        self.stream = stream
+        self.channel = channel
+        #: tuple of (stream, baseline subscriber count); counts above the
+        #: baseline mean an external consumer attached after deployment
+        self.watches: tuple[tuple[Stream, int], ...] = ()
+
+    def is_live(self) -> bool:
+        channel = self.channel
+        if channel is not None and channel.subscribers:
+            return True
+        for stream, baseline in self.watches:
+            if stream.has_subscribers_beyond(baseline):
+                return True
+        return False
+
+
+class CompiledPipeline:
+    """Fused execution of one plan segment, installed by the deployer."""
+
+    name = "CompiledPipeline"
+    stateless = True
+
+    __slots__ = (
+        "stages",
+        "boundaries",
+        "sub_id",
+        "peer_id",
+        "items_in",
+        "items_out",
+        "_entries",
+    )
+
+    def __init__(
+        self, stages: tuple[CompiledStage, ...], sub_id: str, peer_id: str
+    ) -> None:
+        self.stages = stages
+        self.boundaries: list[_Boundary] = []
+        self.sub_id = sub_id
+        self.peer_id = peer_id
+        self.items_in = 0
+        self.items_out = 0
+        #: per-stage unsubscribers for the entry callbacks; None once detached
+        self._entries: list[Callable[[], None] | None] = [None] * len(stages)
+
+    # -- wiring (called by the deployer, in deployment order) ---------------
+
+    def add_boundary(self, stream: Stream, channel: Any) -> None:
+        self.boundaries.append(_Boundary(stream, channel))
+
+    def seal_boundary(self, index: int, watches: tuple[tuple[Stream, int], ...]) -> None:
+        self.boundaries[index].watches = watches
+
+    def make_entry(self, index: int) -> Callable[[Any], None]:
+        """Deliver callback consuming stage ``index``'s input stream.
+
+        Entry 0 consumes the segment's source; entry ``i > 0`` is the
+        continuation subscribed to boundary ``i - 1`` and only runs when that
+        boundary was written through (live) or fed externally (orphan
+        adoption replays, reuse providers).
+        """
+
+        def deliver(item: Any, _i: int = index) -> None:
+            if is_eos(item):
+                # mirror Operator.on_close: input ended -> close own output,
+                # cascading stage by stage through the boundary streams
+                self.boundaries[_i].stream.close()
+                return
+            if _i == 0:
+                self.items_in += 1
+            self._run_from(_i, item)
+
+        def deliver_batch(items: Any, _i: int = index) -> None:
+            if _i == 0:
+                self.items_in += len(items)
+            self._run_batch_from(_i, items)
+
+        deliver.batch = deliver_batch  # type: ignore[attr-defined]
+        return deliver
+
+    def attach_entry(self, index: int, unsubscribe: Callable[[], None]) -> None:
+        self._entries[index] = unsubscribe
+
+    def detach_stage(self, index: int) -> None:
+        unsubscribe = self._entries[index]
+        if unsubscribe is not None:
+            self._entries[index] = None
+            unsubscribe()
+
+    @property
+    def detached(self) -> bool:
+        return all(entry is None for entry in self._entries)
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_from(self, i: int, item: Any) -> None:
+        stages = self.stages
+        boundaries = self.boundaries
+        last = len(stages) - 1
+        while True:
+            out = stages[i].apply(item)
+            if out is None:
+                return
+            boundary = boundaries[i]
+            if i == last:
+                self.items_out += 1
+                boundary.stream.emit(out)
+                return
+            if self._entries[i + 1] is None or boundary.is_live():
+                # write through: either an external consumer is attached (our
+                # continuation on this boundary resumes the remaining stages,
+                # so processing stays single-path), or the downstream stages
+                # were torn down while this boundary stream survives for
+                # reuse consumers -- exactly an interpreted upstream operator
+                # emitting after its downstream operator detached
+                boundary.stream.emit(out)
+                return
+            item = out
+            i += 1
+
+    def _run_batch_from(self, i: int, items: Any) -> None:
+        stages = self.stages
+        boundaries = self.boundaries
+        last = len(stages) - 1
+        batch = items
+        while True:
+            stage = stages[i]
+            if stage.kind != FILTER:
+                # interpreted RestructureOperator has no batch override: a
+                # batch degrades to per-item emits downstream, so mirror that
+                for item in batch:
+                    self._run_from(i, item)
+                return
+            apply = stage.apply
+            survivors = [item for item in batch if apply(item) is not None]
+            if not survivors:
+                return
+            boundary = boundaries[i]
+            if i == last:
+                self.items_out += len(survivors)
+                boundary.stream.emit_many(survivors)
+                return
+            if self._entries[i + 1] is None or boundary.is_live():
+                boundary.stream.emit_many(survivors)
+                return
+            batch = survivors
+            i += 1
+
+    # -- observability -------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "sub_id": self.sub_id,
+            "peer": self.peer_id,
+            "stages": [stage.signature for stage in self.stages],
+            "items_in": self.items_in,
+            "items_out": self.items_out,
+            "detached": self.detached,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPipeline(sub={self.sub_id!r}, peer={self.peer_id!r}, "
+            f"stages={len(self.stages)})"
+        )

@@ -1,0 +1,42 @@
+"""Counters describing what the plan compiler did and why it fell back."""
+
+from __future__ import annotations
+
+
+class CompileStats:
+    """Cumulative compiler observability, surfaced via ``handle.stats()``."""
+
+    __slots__ = ("segments_fused", "stages_fused", "fallbacks", "remote_splits", "ticks")
+
+    def __init__(self) -> None:
+        self.segments_fused = 0
+        self.stages_fused = 0
+        #: operator kind -> {reason: count}
+        self.fallbacks: dict[str, dict[str, int]] = {}
+        self.remote_splits = 0
+        self.ticks = 0
+
+    def record_segment(self, length: int) -> None:
+        self.segments_fused += 1
+        self.stages_fused += length
+
+    def record_fallback(self, kind: str, reason: str) -> None:
+        bucket = self.fallbacks.setdefault(kind, {})
+        bucket[reason] = bucket.get(reason, 0) + 1
+
+    def record_remote_split(self) -> None:
+        self.remote_splits += 1
+
+    def record_tick(self) -> None:
+        self.ticks += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "segments_fused": self.segments_fused,
+            "stages_fused": self.stages_fused,
+            "fallbacks": {
+                kind: dict(reasons) for kind, reasons in sorted(self.fallbacks.items())
+            },
+            "remote_splits": self.remote_splits,
+            "ticks": self.ticks,
+        }

@@ -238,3 +238,41 @@ class FilterSubscription:
         if not self.computed_hold(item):
             return False
         return all(query.matches(item) for query in self.complex_queries)
+
+
+def compile_simple_predicate(subscription: FilterSubscription):
+    """Fuse a *simple* subscription's conditions into one ``item -> bool`` closure.
+
+    The returned predicate is semantically identical to running the
+    subscription through :class:`repro.filtering.filter.PubSubFilter` with no
+    complex queries registered: every :class:`SimpleCondition` must hold on
+    the root attributes and every :class:`ComputedCondition` must hold as
+    well.  Attribute lookups and per-condition ``holds`` closures are bound at
+    compile time so the hot path is a single call frame with no virtual hops.
+
+    Raises :class:`ValueError` for complex subscriptions — tree-pattern
+    queries need the filter's materialized extensional view and must stay on
+    the interpreted path.
+    """
+    if subscription.complex_queries:
+        raise ValueError(
+            f"subscription {subscription.sub_id!r} has complex queries; "
+            "only simple subscriptions compile to a fused predicate"
+        )
+    # Pre-extract (attribute, holds) pairs; SimpleCondition is frozen so the
+    # compiled closures cannot drift from the interpreted conditions.
+    simple = tuple((condition.attribute, condition.holds) for condition in subscription.simple)
+    computed = tuple(subscription.computed)
+
+    def predicate(item) -> bool:
+        attrib = item.attrib
+        for attribute, holds in simple:
+            actual = attrib.get(attribute)
+            if actual is None or not holds(actual):
+                return False
+        for condition in computed:
+            if not condition.evaluate(attrib):
+                return False
+        return True
+
+    return predicate

@@ -46,6 +46,7 @@ from repro.algebra.plan import (
     plan_signature,
 )
 from repro.algebra.template import ValueRef
+from repro.compile import CompiledPipeline
 from repro.monitor.control import (
     RPC_CHANNEL_SUBSCRIBE,
     RPC_CHANNEL_UNSUBSCRIBE,
@@ -194,6 +195,9 @@ class Deployer:
         self._counter = 0
         self._epoch = 0
         self._predecessor: DeployedTask | None = None
+        #: fusable segments of the plan being deployed, keyed by id(tail
+        #: node); populated per deploy() when the system runs compiled
+        self._segments: dict[int, list[PlanNode]] = {}
 
     # -- public API -------------------------------------------------------------------
 
@@ -231,6 +235,8 @@ class Deployer:
         self._counter = 0
         self._epoch = epoch
         self._predecessor = predecessor
+        compiler = self.system.compiler
+        self._segments = compiler.plan_segments(plan) if compiler is not None else {}
         holder = f"sub:{sub_id}"
         if plan.kind == PUBLISH:
             handle = self._deploy_node(plan.children[0], task)
@@ -292,6 +298,10 @@ class Deployer:
         ledger.retain(key, holder)
 
     def _deploy_node(self, node: PlanNode, task: DeployedTask) -> _StreamHandle:
+        if self._segments:
+            chain = self._segments.get(id(node))
+            if chain is not None:
+                return self._deploy_segment(node, chain, task)
         if node.kind == ALERTER:
             return self._deploy_alerter(node, task)
         if node.kind == EXISTING:
@@ -407,6 +417,80 @@ class Deployer:
                 key, lambda k=handle.original: ledger.release(k, holder)
             )
         return _StreamHandle(peer.peer_id, output, stream_id)
+
+    def _deploy_segment(
+        self, tail: PlanNode, chain: list[PlanNode], task: DeployedTask
+    ) -> _StreamHandle:
+        """Deploy a fusable chain (head first) as one :class:`CompiledPipeline`.
+
+        The network-visible footprint is identical to the interpreted chain:
+        every node still gets its stream id (same counter order), channel
+        publication, Stream Definition Database advertisement, predecessor
+        adoption link and ledger entry with the same undo order -- only the
+        per-node interpreted operator is replaced by fused stage closures,
+        and intermediate boundary streams are written through solely when an
+        external consumer is attached.
+        """
+        peer = self.system.peer(tail.placement)
+        compiler = self.system.compiler
+        assert compiler is not None
+        program = compiler.compile_segment(chain, self._epoch)
+        pipeline = CompiledPipeline(program, sub_id=task.sub_id, peer_id=peer.peer_id)
+        peer.operators.append(pipeline)
+        ledger = self.system.resources
+        prev_handle = self._deploy_node(chain[0].children[0], task)
+        for index, node in enumerate(chain):
+            stream_id = self._next_stream_id(task.sub_id)
+            key = (peer.peer_id, stream_id)
+            holder = f"stream:{stream_id}@{peer.peer_id}"
+            ledger.register(key)
+            sink: list[UndoAction] = []
+            input_stream = self._local_input(peer.peer_id, prev_handle, task, holder, sink)
+            output = peer.net.create_stream(stream_id)
+            unsubscribe = input_stream.subscribe(pipeline.make_entry(index))
+            pipeline.attach_entry(index, unsubscribe)
+            if index > 0:
+                # the continuation for the previous boundary is wired now;
+                # snapshot its liveness baselines (channel subscribers are
+                # checked directly, they need no baseline)
+                prev_boundary_stream = pipeline.boundaries[index - 1].stream
+                if input_stream is prev_boundary_stream:
+                    watches = ((input_stream, input_stream.subscriber_count),)
+                else:  # reliable channels: continuation sits on a local proxy
+                    watches = (
+                        (prev_boundary_stream, prev_boundary_stream.subscriber_count),
+                        (input_stream, input_stream.subscriber_count),
+                    )
+                pipeline.seal_boundary(index - 1, watches)
+            created_channel = peer.ensure_channel(stream_id, output)
+            pipeline.add_boundary(output, peer.net.channels.published(stream_id))
+            self._link_predecessor(node, task, peer.peer_id, stream_id, output)
+            doc_id = self.system.stream_db.publish_node(
+                node, peer.peer_id, stream_id, [prev_handle.original]
+            )
+            self._record(task, peer.peer_id, pipeline if index == 0 else None)
+            # teardown mirrors _deploy_operator: stop consuming this node's
+            # input, then withdraw its output
+            ledger.add_undo(key, lambda i=index: pipeline.detach_stage(i))
+            ledger.add_undo(key, lambda: _discard(peer.operators, pipeline))
+            ledger.add_undo(key, lambda out=output: out.close())
+            if created_channel:
+                ledger.add_undo(
+                    key, lambda sid=stream_id: peer.net.unpublish_channel(sid)
+                )
+            ledger.add_undo(key, lambda sid=stream_id: peer.net.drop_stream(sid))
+            ledger.add_undo(
+                key, lambda d=doc_id: self.system.stream_db.retract(d)
+            )
+            for action in sink:
+                ledger.add_undo(key, action)
+            self._retain_stream(prev_handle.original, holder)
+            ledger.add_undo(
+                key,
+                lambda k=prev_handle.original, h=holder: ledger.release(k, h),
+            )
+            prev_handle = _StreamHandle(peer.peer_id, output, stream_id)
+        return prev_handle
 
     def _link_predecessor(
         self,

@@ -216,6 +216,9 @@ class SubscriptionHandle:
                 task.reuse_report.nodes_reused if task.reuse_report is not None else 0
             ),
             "reliability": reliability,
+            # system-wide like "reliability": the CSE table and plan cache
+            # are shared across every co-deployed subscription
+            "compile": system.compile_snapshot(),
         }
 
     # -- internals -------------------------------------------------------------

@@ -12,6 +12,14 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.alerters import Alerter, AXMLRepository, create_alerter
+from repro.compile import (
+    EXECUTION_MODES,
+    CompiledPipeline,
+    CompiledPlanCache,
+    CompileStats,
+    MaterializedTable,
+    PlanCompiler,
+)
 from repro.dht.chord import ChordRing
 from repro.dht.kadop import KadopIndex
 from repro.monitor.control import ControlPlaneRouter, register_control_methods
@@ -63,10 +71,15 @@ class P2PMSystem:
         reliable_channels: bool | None = None,
         detector_config: DetectorConfig | None = None,
         rpc_policy: RetryPolicy | None = None,
+        execution_mode: str = "interpreted",
     ) -> None:
         if failure_mode not in ("oracle", "detector"):
             raise ValueError(
                 f"failure_mode must be 'oracle' or 'detector', got {failure_mode!r}"
+            )
+        if execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution_mode must be one of {EXECUTION_MODES}, got {execution_mode!r}"
             )
         self.network = SimNetwork(seed=seed, fault_model=fault_model)
         self.kadop = KadopIndex(ChordRing())
@@ -107,6 +120,21 @@ class P2PMSystem:
         #: detects orphaned resources after a peer failure and redeploys the
         #: affected subscriptions on surviving peers
         self.recovery = RecoveryManager(self)
+        #: opt-in compiled execution: fused pipeline closures with a
+        #: system-wide materialized-expression table (cross-plan CSE)
+        self.execution_mode = execution_mode
+        if execution_mode == "compiled":
+            self.materialized: MaterializedTable | None = MaterializedTable()
+            self.compile_cache: CompiledPlanCache | None = CompiledPlanCache()
+            self.compile_stats: CompileStats | None = CompileStats()
+            self.compiler: PlanCompiler | None = PlanCompiler(
+                self.materialized, self.compile_cache, self.compile_stats
+            )
+        else:
+            self.materialized = None
+            self.compile_cache = None
+            self.compile_stats = None
+            self.compiler = None
         self._peers: dict[str, P2PMPeer] = {}
 
     # -- peers ------------------------------------------------------------------
@@ -243,6 +271,75 @@ class P2PMSystem:
             for peer in self._peers.values():
                 if self.network.is_alive(peer.peer_id):
                     peer.net.channels.retransmit_tick()
+        if self.compile_stats is not None:
+            self.compile_stats.record_tick()
+
+    # -- compiled execution ------------------------------------------------------
+
+    def compiled_pipelines(self) -> list[CompiledPipeline]:
+        """Every live compiled pipeline, ordered by peer id."""
+        pipelines: list[CompiledPipeline] = []
+        for peer_id in sorted(self._peers):
+            for operator in self._peers[peer_id].operators:
+                if isinstance(operator, CompiledPipeline):
+                    pipelines.append(operator)
+        return pipelines
+
+    def compile_snapshot(self) -> dict:
+        """Compiler counters for ``handle.stats()["compile"]``."""
+        snapshot: dict = {"mode": self.execution_mode}
+        if self.compiler is None:
+            return snapshot
+        assert self.compile_stats is not None
+        assert self.materialized is not None
+        assert self.compile_cache is not None
+        snapshot.update(self.compile_stats.snapshot())
+        cse = self.materialized.snapshot()
+        ticks = self.compile_stats.ticks
+        cse["hits_per_tick"] = round(cse["hits"] / ticks, 2) if ticks else 0.0
+        cse["misses_per_tick"] = round(cse["misses"] / ticks, 2) if ticks else 0.0
+        snapshot["cse"] = cse
+        snapshot["plan_cache"] = self.compile_cache.snapshot()
+        snapshot["pipelines_active"] = sum(
+            1 for pipeline in self.compiled_pipelines() if not pipeline.detached
+        )
+        return snapshot
+
+    def compile_report(self) -> str:
+        """Readable debug dump of the compiler state and live pipelines."""
+        lines = [f"execution mode: {self.execution_mode}"]
+        if self.compiler is None:
+            lines.append("plan compiler disabled (interpreted execution)")
+            return "\n".join(lines)
+        snapshot = self.compile_snapshot()
+        lines.append(
+            f"segments fused: {snapshot['segments_fused']} "
+            f"({snapshot['stages_fused']} stages), "
+            f"remote splits: {snapshot['remote_splits']}"
+        )
+        cse = snapshot["cse"]
+        lines.append(
+            f"CSE table: {cse['signatures']} signatures, "
+            f"{cse['hits']} hits / {cse['misses']} misses "
+            f"(hit rate {cse['hit_rate']})"
+        )
+        cache = snapshot["plan_cache"]
+        lines.append(
+            f"plan cache: {cache['programs']} programs, "
+            f"{cache['hits']} hits / {cache['misses']} misses"
+        )
+        for kind, reasons in snapshot["fallbacks"].items():
+            for reason, count in sorted(reasons.items()):
+                lines.append(f"fallback {kind}: {reason} x{count}")
+        for pipeline in self.compiled_pipelines():
+            info = pipeline.describe()
+            status = "detached" if info["detached"] else "live"
+            lines.append(
+                f"pipeline sub={info['sub_id']} @{info['peer']} [{status}] "
+                f"in={info['items_in']} out={info['items_out']} "
+                f"stages={' | '.join(info['stages'])}"
+            )
+        return "\n".join(lines)
 
     def _on_peer_confirmed_down(self, peer_id: str) -> None:
         """Detector confirmation: drive the same chain the oracle would."""

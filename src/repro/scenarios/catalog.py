@@ -190,13 +190,19 @@ def scenario_names() -> list[str]:
 
 
 def make_scenario(
-    name: str, seed: int = 0, failure_mode: str | None = None
+    name: str,
+    seed: int = 0,
+    failure_mode: str | None = None,
+    execution_mode: str | None = None,
 ) -> ChaosScenario:
     """Instantiate a named scenario for the given seed.
 
     ``failure_mode`` overrides the scenario's default (``detector``):
     golden-trace tests pin ``oracle`` to keep the legacy byte-identical
     traces, and A/B comparisons run the same scenario in both modes.
+    ``execution_mode`` selects interpreted (default) or compiled plan
+    execution; the compiled differential suite runs every scenario in both
+    and asserts identical fingerprints.
     """
     try:
         factory = SCENARIOS[name]
@@ -207,4 +213,6 @@ def make_scenario(
     scenario = factory(seed)
     if failure_mode is not None:
         scenario.failure_mode = failure_mode
+    if execution_mode is not None:
+        scenario.execution_mode = execution_mode
     return scenario

@@ -164,6 +164,9 @@ class ChaosScenario:
     #: install the fault model before the subscription is submitted, so the
     #: control plane itself runs over the faulty network
     apply_faults_before_subscribe: bool = False
+    #: "interpreted" (default) or "compiled" (fused pipeline closures); the
+    #: differential suite pins both modes to identical fingerprints
+    execution_mode: str = "interpreted"
 
     # -- execution ---------------------------------------------------------------
 
@@ -172,6 +175,7 @@ class ChaosScenario:
             seed=self.seed,
             failure_mode=self.failure_mode,
             reliable_control=self.reliable_control,
+            execution_mode=self.execution_mode,
         )
         sources = [f"s{i}" for i in range(self.n_sources)]
         for source in sources:

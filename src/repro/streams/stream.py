@@ -109,6 +109,17 @@ class Stream:
     def subscriber_count(self) -> int:
         return len(self._subscribers)
 
+    def has_subscribers_beyond(self, baseline: int) -> bool:
+        """True when more than ``baseline`` subscribers are attached.
+
+        Compiled pipelines snapshot the subscriber count of each intermediate
+        boundary stream right after wiring their own continuation; any count
+        above that baseline means an external consumer (stream reuse, a test
+        tap, a replica) attached later, so the boundary must be written
+        through instead of fused past.
+        """
+        return len(self._subscribers) > baseline
+
     def detach_subscribers(self) -> list[Subscriber]:
         """Remove and return all subscribers (they stop receiving items).
 

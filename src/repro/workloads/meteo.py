@@ -51,9 +51,11 @@ class MeteoScenario:
     calls: list[SoapCall] = field(init=False, default_factory=list)
     #: result-buffer bound passed to subscribe() (results are opt-in + bounded)
     max_results: int = 10_000
+    #: plan execution mode ("interpreted" or "compiled")
+    execution_mode: str = "interpreted"
 
     def __post_init__(self) -> None:
-        self.system = P2PMSystem(seed=self.seed)
+        self.system = P2PMSystem(seed=self.seed, execution_mode=self.execution_mode)
         for peer_id in self.clients + [self.server]:
             self.system.add_peer(peer_id)
         self.monitor = self.system.add_peer("monitor.meteo.com")

@@ -1,0 +1,262 @@
+"""Differential suite: compiled execution pinned equivalent to interpreted.
+
+``P2PMSystem(execution_mode="compiled")`` replaces interpreted operator
+chains with fused pipeline closures plus a system-wide materialized
+expression table.  Everything here asserts the replacement is *externally
+invisible*:
+
+* every catalog chaos scenario produces a byte-identical event-trace
+  fingerprint in both modes (detector and oracle failure modes alike);
+* the 4 pinned golden fingerprints of the oracle scenarios hold verbatim in
+  compiled mode;
+* the meteo and edos workloads deliver identical results;
+* plan-copy and reuse interactions can never serve a stale fused closure.
+"""
+
+import pytest
+
+from repro.algebra.plan import FILTER, RESTRUCTURE
+from repro.compile import CompiledPipeline, CompiledStage, MaterializedTable
+from repro.monitor import P2PMSystem
+from repro.scenarios import make_scenario, scenario_names
+from repro.workloads import EdosNetwork, MeteoScenario
+from repro.workloads.chaos_feed import CHAOS_FUNCTION
+from repro.xmlmodel.serialize import to_xml
+
+#: The golden traces pinned by test_e2e_fastpath (oracle failure mode).
+#: Compiled mode must reproduce them byte for byte -- duplicated here on
+#: purpose so a re-pin over there cannot silently loosen this suite.
+PINNED_GOLDEN = {
+    ("flaky-network", 0): (
+        "36517f09c0087bb62f8357b9b4158556e064a82c8ec635e88b27cedec60e1735"
+    ),
+    ("partition-heal", 7): (
+        "14fb7e0c7bb6665befab9b72dc3146d628bc4f1001c904aea5be50afd4c55563"
+    ),
+    ("lossy-network", 0): (
+        "1dfc3881162bba9eefbf37cebb15a79fdeaf63450b9abd9d633d7dbca238dcdf"
+    ),
+    ("churn-soak", 42): (
+        "d9e1656c98e27aaee85be891ec2af41c08f5ef1245a25648fd0148849db22091"
+    ),
+}
+
+
+class TestCatalogDifferential:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_compiled_trace_matches_interpreted(self, name: str):
+        interpreted = make_scenario(name, seed=0).run()
+        compiled = make_scenario(name, seed=0, execution_mode="compiled").run()
+        assert compiled.ok, [inv for inv in compiled.invariants if not inv.ok]
+        assert compiled.received == interpreted.received
+        assert compiled.fingerprint == interpreted.fingerprint
+
+    @pytest.mark.parametrize("name,seed", sorted(PINNED_GOLDEN))
+    def test_compiled_reproduces_pinned_oracle_goldens(self, name: str, seed: int):
+        result = make_scenario(
+            name, seed=seed, failure_mode="oracle", execution_mode="compiled"
+        ).run()
+        assert result.ok, [inv for inv in result.invariants if not inv.ok]
+        assert result.fingerprint == PINNED_GOLDEN[(name, seed)]
+
+
+class TestWorkloadDifferential:
+    def test_meteo_incidents_identical(self):
+        def incidents(mode: str) -> list[str]:
+            scenario = MeteoScenario(
+                threshold=10.0, slow_fraction=0.2, seed=11, execution_mode=mode
+            )
+            scenario.deploy()
+            scenario.run_traffic(300)
+            return [to_xml(item) for item in scenario.incidents()]
+
+        interpreted = incidents("interpreted")
+        compiled = incidents("compiled")
+        assert compiled, "the workload should produce incidents"
+        assert compiled == interpreted
+
+    def test_edos_failures_identical(self):
+        def failures(mode: str) -> list[str]:
+            system = P2PMSystem(seed=23, execution_mode=mode)
+            edos = EdosNetwork(n_mirrors=2, n_clients=10, failure_rate=0.3, seed=23)
+            for mirror in edos.mirrors:
+                peer = system.add_peer(mirror)
+                peer.add_alerter_hook(
+                    lambda alerter: edos.attach_alerter(alerter)
+                    if hasattr(alerter, "observe_call")
+                    else None
+                )
+            monitor = system.add_peer("monitor.edos.org")
+            task = monitor.subscribe(
+                """
+                for $c in inCOM(<p>mirror0.edos.org</p> <p>mirror1.edos.org</p>)
+                where $c.callMethod = "DownloadPackage" and $c.status = "fault"
+                return <failure><mirror>{$c.callee}</mirror><client>{$c.caller}</client></failure>
+                by publish as channel "edosFailures";
+                """,
+                sub_id="edos-failures",
+                max_results=4096,
+            )
+            system.run()
+            edos.run(400)
+            system.run()
+            return [to_xml(item) for item in task.results()]
+
+        interpreted = failures("interpreted")
+        compiled = failures("compiled")
+        assert compiled, "a 30% failure rate should produce failures"
+        assert compiled == interpreted
+
+
+def _single_peer(mode: str) -> tuple:
+    system = P2PMSystem(seed=1, execution_mode=mode)
+    peer = system.add_peer("solo")
+    return system, peer
+
+
+def _chaos_subscription(peer, sub_id: str, template: str, threshold: int = 1):
+    text = (
+        f'for $x in {CHAOS_FUNCTION}(<p>solo</p>) '
+        f'where $x.kind = "chaos" and $x.n >= {threshold} return {template}'
+    )
+    got: list[str] = []
+    handle = peer.subscribe(text, sub_id=sub_id)
+    handle.on_result(lambda item, bucket=got: bucket.append(to_xml(item)))
+    return handle, got
+
+
+class TestFusedPipelines:
+    def test_filter_restructure_fuses_into_one_segment(self):
+        system, peer = _single_peer("compiled")
+        handle, got = _chaos_subscription(peer, "q0", "<seen><n>{$x.n}</n></seen>")
+        system.run()
+        pipelines = system.compiled_pipelines()
+        assert len(pipelines) == 1
+        assert [stage.kind for stage in pipelines[0].stages] == [FILTER, RESTRUCTURE]
+        alerter = peer.alerter(CHAOS_FUNCTION)
+        for n in range(10):
+            alerter.emit_numbered(n)
+        system.run()
+        assert len(got) == 9  # n >= 1 filters out n=0
+        assert pipelines[0].items_in == 10
+        assert pipelines[0].items_out == 9
+        # the intermediate filter boundary is dark: fused straight through
+        stats = handle.stats()["compile"]
+        assert stats["mode"] == "compiled"
+        assert stats["segments_fused"] == 1
+        assert stats["stages_fused"] == 2
+
+    def test_cse_shares_restructure_across_subscriptions(self):
+        system, peer = _single_peer("compiled")
+        _, got_a = _chaos_subscription(
+            peer, "qa", "<seen><n>{$x.n}</n></seen>", threshold=0
+        )
+        _, got_b = _chaos_subscription(
+            peer, "qb", "<seen><n>{$x.n}</n></seen>", threshold=1
+        )
+        system.run()
+        alerter = peer.alerter(CHAOS_FUNCTION)
+        for n in range(20):
+            alerter.emit_numbered(n)
+        system.run()
+        assert len(got_a) == 20 and len(got_b) == 19
+        table = system.materialized
+        assert table is not None and table.hits > 0, (
+            "identical templates across subscriptions must share evaluations"
+        )
+
+    def test_reuse_of_dark_boundary_flips_it_live(self):
+        # a second subscription reusing the (dark) intermediate filter stream
+        # must receive every later item, identically in both modes
+        def run(mode: str):
+            system, peer = _single_peer(mode)
+            _, got_a = _chaos_subscription(peer, "qa", "<seen><n>{$x.n}</n></seen>")
+            system.run()
+            alerter = peer.alerter(CHAOS_FUNCTION)
+            for n in range(5):
+                alerter.emit_numbered(n)
+            system.run()
+            _, got_b = _chaos_subscription(peer, "qb", "<other><n>{$x.n}</n></other>")
+            system.run()
+            for n in range(5, 10):
+                alerter.emit_numbered(n)
+            system.run()
+            return got_a, got_b
+
+        interpreted = run("interpreted")
+        compiled = run("compiled")
+        assert compiled == interpreted
+        assert len(compiled[1]) == 5
+
+    def test_cancel_keeps_shared_boundary_flowing(self):
+        def run(mode: str):
+            system, peer = _single_peer(mode)
+            handle_a, got_a = _chaos_subscription(peer, "qa", "<seen><n>{$x.n}</n></seen>")
+            system.run()
+            alerter = peer.alerter(CHAOS_FUNCTION)
+            for n in range(3):
+                alerter.emit_numbered(n)
+            system.run()
+            _, got_b = _chaos_subscription(peer, "qb", "<other><n>{$x.n}</n></other>")
+            system.run()
+            handle_a.cancel()
+            system.run()
+            for n in range(3, 6):
+                alerter.emit_numbered(n)
+            system.run()
+            return got_a, got_b
+
+        assert run("compiled") == run("interpreted")
+
+    def test_compile_report_is_printable(self):
+        system, peer = _single_peer("compiled")
+        _chaos_subscription(peer, "q0", "<seen><n>{$x.n}</n></seen>")
+        system.run()
+        report = system.compile_report()
+        assert "execution mode: compiled" in report
+        assert "segments fused" in report
+        interpreted_system, _ = _single_peer("interpreted")
+        assert "interpreted" in interpreted_system.compile_report()
+
+    def test_invalid_execution_mode_rejected(self):
+        with pytest.raises(ValueError, match="execution_mode"):
+            P2PMSystem(execution_mode="jit")
+
+
+class TestCopySafety:
+    def test_plan_copy_drops_compiled_stage(self):
+        system, peer = _single_peer("compiled")
+        _, _ = _chaos_subscription(peer, "q0", "<seen><n>{$x.n}</n></seen>")
+        system.run()
+        record = peer.manager.database.get("q0")
+        plan = record.task.plan
+        staged = [
+            node for node in plan.iter_nodes()
+            if isinstance(node._stage, CompiledStage)
+        ]
+        assert staged, "deployment must have attached compiled stages"
+        for node in staged:
+            clone = node.copy()
+            # the signature memo is carried (pure function of params)...
+            assert clone._detail == node._detail
+            # ...but the compiled stage is re-derived, never inherited
+            assert clone._stage is None
+
+    def test_stage_rebuilt_for_foreign_table(self):
+        # a stage pinned on a node only short-circuits recompilation for the
+        # same system's materialized table; a second system must build its own
+        system_a, peer_a = _single_peer("compiled")
+        _chaos_subscription(peer_a, "q0", "<seen><n>{$x.n}</n></seen>")
+        system_a.run()
+        system_b, peer_b = _single_peer("compiled")
+        _chaos_subscription(peer_b, "q0", "<seen><n>{$x.n}</n></seen>")
+        system_b.run()
+        tables = set()
+        for system in (system_a, system_b):
+            for pipeline in system.compiled_pipelines():
+                assert isinstance(pipeline, CompiledPipeline)
+                for stage in pipeline.stages:
+                    assert isinstance(stage.table, MaterializedTable)
+                    assert stage.table is system.materialized
+                    tables.add(id(stage.table))
+        assert len(tables) == 2
