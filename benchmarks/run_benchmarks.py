@@ -33,7 +33,10 @@ macro publish->deliver->process path, ``BENCH_e2e.json``) and ``--suite
 ingest`` to :mod:`benchmarks.bench_ingest` (the control-plane subscription
 ingestion path, ``BENCH_ingest.json``), both with the same
 ``--quick/--output/--compare/--tolerance`` contract; the default suite
-stays ``filter`` so existing CI invocations are unchanged.
+stays ``filter`` so existing CI invocations are unchanged.  ``--suite
+shard`` runs only the e2e suite's SHARD rows -- the single-process vs
+sharded runtime scaling comparison -- writing to a scratch file by default
+so the committed full-suite baseline is never clobbered.
 """
 
 from __future__ import annotations
@@ -336,9 +339,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("filter", "e2e", "ingest"),
+        choices=("filter", "e2e", "ingest", "shard"),
         default="filter",
-        help="which benchmark suite to run (default: filter)",
+        help="which benchmark suite to run (default: filter); 'shard' runs "
+        "only the e2e suite's runtime-scaling rows (single vs sharded)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="small sizes for CI smoke runs"
@@ -366,13 +370,23 @@ def main(argv: list[str] | None = None) -> int:
         "(default 0.25 for the filter suite, 0.4 for e2e and ingest)",
     )
     args = parser.parse_args(argv)
-    if args.suite in ("e2e", "ingest"):
-        if args.suite == "e2e":
+    if args.suite in ("e2e", "ingest", "shard"):
+        if args.suite in ("e2e", "shard"):
             from benchmarks.bench_e2e_throughput import main as suite_main
         else:
             from benchmarks.bench_ingest import main as suite_main
 
         forwarded: list[str] = []
+        if args.suite == "shard":
+            forwarded += ["--only", "shard"]
+            if not args.output:
+                # a shard-only summary must not clobber the committed
+                # full-suite BENCH_e2e.json baseline
+                import tempfile
+
+                args.output = str(
+                    Path(tempfile.gettempdir()) / "bench_e2e_shard.json"
+                )
         if args.quick:
             forwarded.append("--quick")
         if args.output:

@@ -10,7 +10,10 @@ from repro.xmlmodel import pretty_xml
 
 def main() -> None:
     # 1. A tiny monitoring deployment: the monitored site and a monitor peer.
-    system = P2PMSystem(seed=1)
+    #    execution_mode="compiled" runs deployed plans as fused pipeline
+    #    closures (docs/PERFORMANCE.md); results are identical to the
+    #    default interpreted mode, item for item.
+    system = P2PMSystem(seed=1, execution_mode="compiled")
     site = system.add_peer("news.example.org")
     monitor = system.add_peer("monitor.example.org")
 
@@ -49,6 +52,13 @@ def main() -> None:
     print(f"\n{len(results)} new entries detected:")
     for item in results:
         print("  " + pretty_xml(item).strip().replace("\n", " "))
+
+    # The compile counters show what the plan compiler fused for this
+    # subscription (handle.stats()["compile"] is system-wide).
+    compile_stats = handle.stats()["compile"]
+    print(f"\nCompiled execution: {compile_stats['segments_fused']} segment(s) fused, "
+          f"{compile_stats['stages_fused']} stage(s), "
+          f"{compile_stats['pipelines_active']} pipeline(s) active")
 
     # 6. The handle drives the whole lifecycle: cancelling tears down the
     #    operators, closes the streams and retracts the advertisements.

@@ -11,9 +11,10 @@ Usage::
 Exit codes: 0 all invariants hold (and, with ``--check-determinism``, the
 two same-seed runs produced byte-identical traces); 1 an invariant failed;
 2 the determinism check failed; 3 the ``--compare-modes`` differential found
-a compiled-vs-interpreted fingerprint divergence.  The nightly ``chaos-soak``
-workflow sweeps the (scenario x seed) matrix through this entry point, in
-interpreted mode and with ``--compare-modes``.
+a compiled-vs-interpreted fingerprint divergence; 4 the ``--compare-runtimes``
+differential found a single-vs-sharded result-multiset divergence.  The
+nightly ``chaos-soak`` workflow sweeps the (scenario x seed) matrix through
+this entry point, in interpreted mode and with ``--compare-modes``.
 """
 
 from __future__ import annotations
@@ -55,6 +56,25 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the scenario in the other execution mode and require "
         "byte-identical trace fingerprints",
     )
+    parser.add_argument(
+        "--runtime",
+        choices=("single", "sharded"),
+        default=None,
+        help="execution runtime (default 'single'; 'sharded' partitions the "
+        "peers across worker processes and forces failure-mode 'oracle')",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="worker-process count for --runtime sharded (default 2)",
+    )
+    parser.add_argument(
+        "--compare-runtimes",
+        action="store_true",
+        help="run the scenario single-process and sharded (both in oracle "
+        "failure mode) and require the same multiset of delivered results",
+    )
     parser.add_argument("--list", action="store_true", help="list known scenarios")
     parser.add_argument(
         "--check-determinism",
@@ -76,6 +96,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         failure_mode=args.failure_mode,
         execution_mode=args.execution_mode,
+        runtime=args.runtime,
+        shards=args.shards,
     ).run()
 
     if args.json:
@@ -124,6 +146,34 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 3
         print(f"  execution modes: {other_mode} trace identical to {base_mode}")
+
+    if args.compare_runtimes:
+        # sharded forces oracle failure mode, so the single-process baseline
+        # must run oracle too for the delivered multisets to be comparable
+        single = make_scenario(
+            args.scenario,
+            seed=args.seed,
+            failure_mode="oracle",
+            execution_mode=args.execution_mode,
+        ).run()
+        sharded = make_scenario(
+            args.scenario,
+            seed=args.seed,
+            execution_mode=args.execution_mode,
+            runtime="sharded",
+            shards=args.shards,
+        ).run()
+        if sorted(single.received) != sorted(sharded.received):
+            print(
+                "RUNTIME DIVERGENCE: single-process and sharded runs "
+                f"delivered different result multisets "
+                f"({len(single.received)} vs {len(sharded.received)} results)"
+            )
+            return 4
+        print(
+            f"  runtimes: sharded delivered the same {len(single.received)} "
+            "results as single-process"
+        )
 
     return exit_code
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Check the documentation: links must resolve, python snippets must compile.
+
+Usage::
+
+    python scripts/check_docs.py                 # README.md + docs/*.md
+    python scripts/check_docs.py README.md docs/ARCHITECTURE.md
+
+Two checks per markdown file:
+
+* **Dead links** — every relative markdown link ``[text](target)`` must
+  point at an existing file or directory (resolved against the linking
+  file's directory; ``#fragment`` suffixes are stripped).  External
+  schemes (``http:``, ``https:``, ``mailto:``) and pure in-page anchors
+  are skipped — CI must not depend on the network.
+* **Snippets** — every fenced ```` ```python ```` block must at least
+  *compile* (``compile(..., "exec")``).  Snippets are illustrative, not
+  executed, so this catches syntax rot without requiring each block to be
+  self-contained.
+
+Exit code 0 when clean, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing paren (no nesting)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(text: str):
+    """Yield (line_number, target) for every markdown link in ``text``."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def iter_python_snippets(text: str):
+    """Yield (first_line_number, source) per ```python fenced block."""
+    lines = text.splitlines()
+    block: list[str] | None = None
+    start = 0
+    for lineno, line in enumerate(lines, start=1):
+        fence = FENCE_RE.match(line)
+        if block is None:
+            if fence and fence.group(1) == "python":
+                block = []
+                start = lineno + 1
+        elif fence:
+            yield start, "\n".join(block)
+            block = None
+        else:
+            block.append(line)
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:  # explicit argument outside the repo
+        rel = path
+
+    for lineno, target in iter_links(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{rel}:{lineno}: dead link -> {target}")
+
+    for lineno, source in iter_python_snippets(text):
+        try:
+            compile(source, f"{rel}:{lineno}", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"{rel}:{lineno}: snippet does not compile "
+                f"(line {exc.lineno}: {exc.msg})"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"check_docs: {len(files)} file(s), {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -168,6 +168,8 @@ class SubscriptionManager:
         max_results: int | None,
         ast_cache: dict[str, SubscriptionAST] | None = None,
     ) -> SubscriptionHandle:
+        # the sharded runtime freezes deployment once its workers fork
+        self.peer.system.runtime.check_mutable("subscribe")
         if isinstance(subscription, str):
             text: str | None = subscription
             ast = ast_cache.get(subscription) if ast_cache is not None else None
@@ -202,6 +204,7 @@ class SubscriptionManager:
             # suspect that is then confirmed would trigger an immediate
             # recovery, so suspicion is enough to steer placement away
             avoid=self.peer.system.avoid_peers(),
+            colocate=self.peer.system.placement_mode,
         )
 
         record = Subscription(
@@ -351,6 +354,7 @@ class SubscriptionManager:
         retracted.  Returns False when the subscription was already
         cancelled.
         """
+        self.peer.system.runtime.check_mutable("cancel")
         record = self.database.get(sub_id)
         if record.status == CANCELLED:
             return False
@@ -361,6 +365,7 @@ class SubscriptionManager:
 
     def pause(self, sub_id: str) -> None:
         """Suspend result delivery; the deployed plan keeps running."""
+        self.peer.system.runtime.check_mutable("pause")
         record = self.database.get(sub_id)
         if record.status == PAUSED:
             return
@@ -370,6 +375,7 @@ class SubscriptionManager:
 
     def resume(self, sub_id: str) -> None:
         """Restart delivery after :meth:`pause`, without redeployment."""
+        self.peer.system.runtime.check_mutable("resume")
         record = self.database.get(sub_id)
         if record.status == DEPLOYED:
             return

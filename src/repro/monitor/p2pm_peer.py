@@ -32,6 +32,7 @@ from repro.net.detector import DetectorConfig, HeartbeatDetector
 from repro.net.faults import FaultModel
 from repro.net.peer import Peer
 from repro.net.rpc import RetryPolicy, RpcEndpoint
+from repro.net.runtime import RUNTIMES, create_runtime
 from repro.net.simnet import SimNetwork
 from repro.streams.stream import Stream
 from repro.xmlmodel.axml import ServiceRegistry
@@ -72,6 +73,10 @@ class P2PMSystem:
         detector_config: DetectorConfig | None = None,
         rpc_policy: RetryPolicy | None = None,
         execution_mode: str = "interpreted",
+        runtime: str = "single",
+        shards: int = 0,
+        shard_assigner=None,
+        placement_mode: str | None = None,
     ) -> None:
         if failure_mode not in ("oracle", "detector"):
             raise ValueError(
@@ -81,6 +86,34 @@ class P2PMSystem:
             raise ValueError(
                 f"execution_mode must be one of {EXECUTION_MODES}, got {execution_mode!r}"
             )
+        if runtime not in RUNTIMES:
+            raise ValueError(f"runtime must be one of {RUNTIMES}, got {runtime!r}")
+        if runtime == "sharded":
+            # v1 sharded restrictions: detection, retransmission and retrying
+            # control RPCs all assume one global clock and one event heap
+            if failure_mode != "oracle":
+                raise ValueError(
+                    "runtime='sharded' requires failure_mode='oracle' "
+                    "(heartbeat detection needs a global clock)"
+                )
+            if reliable_control:
+                raise ValueError(
+                    "runtime='sharded' does not support reliable_control=True"
+                )
+            if reliable_channels:
+                raise ValueError(
+                    "runtime='sharded' does not support reliable_channels=True"
+                )
+        if placement_mode is None:
+            # sharded runs want whole pipelines inside one worker: colocating
+            # movable operators at the manager peer keeps cross-shard traffic
+            # down to source->pipeline hops
+            placement_mode = "manager" if runtime == "sharded" else "source"
+        if placement_mode not in ("source", "manager"):
+            raise ValueError(
+                f"placement_mode must be 'source' or 'manager', got {placement_mode!r}"
+            )
+        self.placement_mode = placement_mode
         self.network = SimNetwork(seed=seed, fault_model=fault_model)
         self.kadop = KadopIndex(ChordRing())
         self.stream_db = StreamDefinitionDatabase(self.kadop)
@@ -136,6 +169,9 @@ class P2PMSystem:
             self.compile_stats = None
             self.compiler = None
         self._peers: dict[str, P2PMPeer] = {}
+        #: execution backend: who drains the event scheduler(s), and where
+        #: (see :mod:`repro.net.runtime`)
+        self.runtime = create_runtime(runtime, self, shards=shards, assigner=shard_assigner)
 
     # -- peers ------------------------------------------------------------------
 
@@ -143,6 +179,7 @@ class P2PMSystem:
         self, peer_id: str, coordinates: tuple[float, float] | None = None
     ) -> "P2PMPeer":
         """Create a new P2PM peer and register it with the network and the DHT."""
+        self.runtime.check_lifecycle("add_peer")
         if peer_id in self._peers:
             raise ValueError(f"peer {peer_id!r} already exists")
         peer = P2PMPeer(peer_id, self, coordinates)
@@ -170,8 +207,56 @@ class P2PMSystem:
         return sorted(self._peers)
 
     def run(self, max_steps: int | None = None) -> int:
-        """Deliver pending network messages (returns how many were delivered)."""
-        return self.network.run(max_steps)
+        """Deliver pending network messages (returns how many were delivered).
+
+        Delegated to the execution runtime: the single-process backend drains
+        the one event heap in place; the sharded backend runs one lock-step
+        exchange epoch across its workers and harvests results back into the
+        local handles.
+        """
+        return self.runtime.run(max_steps)
+
+    # -- execution runtime -------------------------------------------------------
+
+    def start_runtime(self) -> None:
+        """Freeze deployment and hand execution to the runtime backend.
+
+        A no-op for the default single-process runtime.  For
+        ``runtime="sharded"`` this forks the worker processes: every peer,
+        operator and pending message moves to its owning shard, and further
+        deployment mutation (subscribe/cancel/pause/resume, peer churn)
+        raises until :meth:`shutdown`.
+        """
+        self.runtime.start()
+
+    def shutdown(self) -> None:
+        """Release runtime resources (worker processes); idempotent."""
+        self.runtime.shutdown()
+
+    def partition(self, name: str, *groups) -> None:
+        """Partition the network (applied in every shard when sharded)."""
+        self.runtime.control("partition", name, tuple(groups))
+
+    def heal(self, name: str) -> None:
+        """Heal a named partition (applied in every shard when sharded)."""
+        self.runtime.control("heal", name)
+
+    def set_fault_model(self, fault_model: FaultModel | None) -> None:
+        """Swap the network fault model (applied in every shard when sharded)."""
+        self.runtime.control("faults", fault_model)
+
+    def drive_alerter(self, peer_id: str, function: str, method: str, *args):
+        """Invoke ``method(*args)`` on the alerter hosting ``function`` at
+        ``peer_id``, wherever that peer's state lives.
+
+        Workload generators drive event sources through this instead of
+        holding direct alerter references: under the single-process runtime
+        it is a plain method call; under the sharded runtime the call is
+        shipped to the worker that owns the peer.  Returns ``False`` when the
+        peer hosts no such alerter, ``None`` when the call was shipped
+        asynchronously.
+        """
+        return self.runtime.drive(peer_id, function, method, args)
 
     # -- peer lifecycle (churn) --------------------------------------------------
 
@@ -191,6 +276,7 @@ class P2PMSystem:
 
         Returns False when the peer was already down.
         """
+        self.runtime.check_lifecycle("fail_peer")
         if peer_id not in self._peers:
             raise KeyError(f"unknown P2PM peer {peer_id!r}")
         if notify is None:
@@ -212,6 +298,7 @@ class P2PMSystem:
         performs the rejoin handshake and reintegration happens when an
         observer hears it.  Returns False when the peer was not down.
         """
+        self.runtime.check_lifecycle("revive_peer")
         if peer_id not in self._peers:
             raise KeyError(f"unknown P2PM peer {peer_id!r}")
         if notify is None:
@@ -263,8 +350,13 @@ class P2PMSystem:
         """One control round: heartbeats plus channel retransmissions.
 
         A no-op in oracle mode, so scenario loops can call it
-        unconditionally without perturbing golden traces.
+        unconditionally without perturbing golden traces.  Delegated to the
+        runtime so the sharded backend can fan the round out to its workers.
         """
+        self.runtime.tick()
+
+    def _local_tick(self) -> None:
+        """The in-process part of :meth:`tick` (what runtimes actually run)."""
         if self.detector is not None:
             self.detector.tick()
         if self.reliable_channels:

@@ -1,0 +1,511 @@
+"""The sharded execution runtime: peers partitioned across worker processes.
+
+``P2PMSystem(runtime="sharded", shards=N)`` escapes the single-process
+ceiling (ROADMAP item 2): the whole deployment is built in the parent as
+usual, then :meth:`ShardedRuntime.start` forks ``N`` worker processes that
+each own a deterministic subset of the peers.  Each worker runs its own
+:class:`~repro.net.scheduler.EventScheduler` over its shard; a message whose
+destination lives in another shard is exported at delivery time into a
+per-shard outbox (:class:`ShardOutboxes`, the concrete
+:class:`~repro.net.simnet.ShardBoundary`) and shipped to the owning worker
+in a wire-encoded batch at the next exchange round.
+
+Execution is a lock-step epoch protocol driven by the parent's
+:meth:`ShardedRuntime.run`:
+
+1. the parent sends each worker a ``drain`` command carrying the batches
+   destined for its shard (empty in the first round);
+2. each worker pushes the imported messages onto its scheduler (at their
+   original ``deliver_at``; the local clock only ever advances forward),
+   drains its heap to empty, and replies with its outboxes;
+3. the parent routes the outboxes to their destination shards and starts
+   the next round; the epoch ends when a round moves no cross-shard traffic.
+
+Determinism: shard assignment is :func:`shard_of` -- a salt-free SHA-1 hash
+of the peer id -- so the same peer set always partitions the same way
+(Python's builtin ``hash`` is process-salted and would not be reproducible).
+Within a shard, the scheduler's (time, sequence) order is as deterministic
+as the single-process backend; *across* shards, delivery interleaving is not
+globally ordered, which is why sharded equivalence is stated over result
+multisets, not over event-log fingerprints.
+
+v1 restrictions (each enforced with an explicit error):
+
+* ``failure_mode="oracle"`` only, and no reliable control/channels -- the
+  detector and retransmission layers assume one global clock;
+* deployment is frozen once workers fork: ``subscribe``/``cancel``/
+  ``pause``/``resume`` and peer churn raise after :meth:`start`;
+* result callbacks (``handle.on_result``) must be attached before
+  :meth:`start`, so the forked workers know which subscriptions need their
+  items (not just their counts) shipped back to the parent.
+"""
+
+from __future__ import annotations
+
+import gc
+import traceback
+from hashlib import sha1
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.net.runtime import Runtime, SingleProcessRuntime, apply_control
+from repro.net.wire import decode_batch, decode_element, encode_batch, encode_element
+from repro.streams.item import is_eos
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.p2pm_peer import P2PMSystem
+    from repro.net.simnet import Message
+
+#: peer-id -> shard override hook: ``assigner(peer_id, shards)`` may return
+#: a shard index or ``None`` to fall back to :func:`shard_of`
+ShardAssigner = Callable[[str, int], int | None]
+
+
+def shard_of(peer_id: str, shards: int) -> int:
+    """Deterministic shard of ``peer_id`` among ``shards`` workers.
+
+    SHA-1 based so the assignment is stable across processes and runs
+    (builtin ``hash`` is salted per process and would shuffle placement).
+    """
+    digest = sha1(peer_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+class ShardOutboxes:
+    """Concrete shard boundary: buffers messages leaving the local shard.
+
+    Installed on the worker's network as ``network.boundary``; the delivery
+    funnel (:meth:`~repro.net.simnet.SimNetwork._deliver_one`) exports every
+    popped message whose destination this shard does not own.  Liveness and
+    partition state of the *destination* are judged by the owning shard;
+    schedule-time semantics (latency, faults, partition capture) were
+    already applied in the sender's shard when the message was scheduled.
+    """
+
+    __slots__ = ("owned", "assign", "outboxes", "exported")
+
+    def __init__(self, owned: frozenset[str], assign: Callable[[str], int]) -> None:
+        self.owned = owned
+        self.assign = assign
+        self.outboxes: dict[int, list["Message"]] = {}
+        self.exported = 0
+
+    def export(self, message: "Message") -> None:
+        self.exported += 1
+        shard = self.assign(message.destination)
+        bucket = self.outboxes.get(shard)
+        if bucket is None:
+            bucket = self.outboxes[shard] = []
+        bucket.append(message)
+
+    def take(self) -> list[tuple[int, tuple]]:
+        """Drain the outboxes as ``(destination_shard, wire_batch)`` pairs."""
+        if not self.outboxes:
+            return []
+        out = [
+            (shard, encode_batch(messages))
+            for shard, messages in sorted(self.outboxes.items())
+            if messages
+        ]
+        self.outboxes.clear()
+        return out
+
+
+class _ResultCollector:
+    """Worker-side taps on the delivery streams of owned manager peers.
+
+    Counts every delivered result; ships the items themselves only for
+    subscriptions with a parent-side consumer (a result buffer or
+    ``on_result`` callbacks attached before the fork).  At bench scale the
+    difference matters: counters are a few bytes per collect, items are the
+    whole result set re-encoded over a pipe.
+    """
+
+    def __init__(self, system: "P2PMSystem", owned: frozenset[str]) -> None:
+        #: (manager_peer, sub_id) -> [count, items-or-None]
+        self.rows: dict[tuple[str, str], list] = {}
+        for peer_id in sorted(owned):
+            if not system.has_peer(peer_id):
+                continue
+            peer = system.peer(peer_id)
+            database = peer.manager.database
+            for sub_id in database.subscription_ids:
+                task = database.get(sub_id).task
+                if task is None or task.delivery is None:
+                    continue
+                # infrastructure subscribers on the delivery stream: the
+                # result buffer and the publisher; anything beyond them is a
+                # user callback, which needs the items shipped back
+                infra = (task.results_buffer is not None) + (task.publisher is not None)
+                ship_items = (
+                    task.results_buffer is not None
+                    or task.delivery.subscriber_count > infra
+                )
+                row = self.rows[(peer_id, sub_id)] = [0, [] if ship_items else None]
+                task.delivery.subscribe(self._tap(row))
+
+    @staticmethod
+    def _tap(row: list) -> Callable[[object], None]:
+        def tap(item: object) -> None:
+            if is_eos(item):
+                return
+            row[0] += 1
+            if row[1] is not None:
+                row[1].append(encode_element(item))
+
+        return tap
+
+    def take(self) -> list[tuple[str, str, int, list | None]]:
+        """Drain per-subscription deltas since the previous collect."""
+        out = []
+        for (peer_id, sub_id), row in self.rows.items():
+            count, items = row
+            if not count:
+                continue
+            out.append((peer_id, sub_id, count, items))
+            row[0] = 0
+            if items is not None:
+                row[1] = []
+        return out
+
+
+def _worker_main(system: "P2PMSystem", index: int, conn: Any) -> None:
+    """Entry point of one forked worker: serve commands over ``conn``.
+
+    The worker inherits the parent's whole object graph via fork and then
+    *narrows* it: the heap keeps only events for owned peers (timers stay in
+    shard 0 so each fires exactly once system-wide), the boundary redirects
+    foreign deliveries, and a local single-process runtime replaces the
+    sharded one so ``system.run()``/``system.tick()`` inside this process
+    drive the local scheduler directly.
+    """
+    from repro.net.simnet import Message
+
+    runtime = system.runtime
+    assert isinstance(runtime, ShardedRuntime)
+    owned = frozenset(runtime.owned_by_shard[index])
+    network = system.network
+    network.boundary = ShardOutboxes(owned, runtime.shard_for)
+    system.runtime = SingleProcessRuntime(system)
+    system.runtime.started = True
+
+    def keep(event: object) -> bool:
+        if isinstance(event, Message):
+            return event.destination in owned
+        return index == 0
+
+    network.scheduler.retain(keep)
+    collector = _ResultCollector(system, owned)
+    # the inherited graph is long-lived shared state: freezing it keeps the
+    # cyclic collector from touching (and copying) the parent's COW pages
+    gc.freeze()
+
+    errors: list[str] = []
+    boundary = network.boundary
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        op = command[0]
+        try:
+            if op == "drain":
+                push = network.scheduler.push
+                for batch in command[1]:
+                    for message in decode_batch(batch):
+                        push(message.deliver_at, message)
+                delivered = network.run()
+                conn.send(("out", boundary.take(), delivered, errors))
+                errors = []
+            elif op == "drive":
+                _, peer_id, function, method, args = command
+                alerter = system.peer(peer_id).alerter(function)
+                if alerter is not None:
+                    getattr(alerter, method)(*args)
+            elif op == "ctrl":
+                _, name, args = command
+                if name == "tick":
+                    system.tick()
+                else:
+                    apply_control(network, name, args)
+            elif op == "collect":
+                conn.send(("results", collector.take(), errors))
+                errors = []
+            elif op == "stop":
+                break
+        except Exception:
+            err = f"shard {index}: {traceback.format_exc()}"
+            # request/reply ops must still reply to keep the protocol in
+            # lock-step; fire-and-forget errors ride along on the next reply
+            if op == "drain":
+                conn.send(("out", [], 0, errors + [err]))
+                errors = []
+            elif op == "collect":
+                conn.send(("results", [], errors + [err]))
+                errors = []
+            else:
+                errors.append(err)
+    conn.close()
+
+
+class ShardedRuntime(Runtime):
+    """Fork-based sharded backend (see module docstring for the protocol)."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        system: "P2PMSystem",
+        shards: int = 2,
+        assigner: ShardAssigner | None = None,
+    ) -> None:
+        super().__init__(system)
+        if shards < 2:
+            raise ValueError(f"sharded runtime needs shards >= 2, got {shards}")
+        self.shards = shards
+        self.assigner = assigner
+        self.owned_by_shard: list[list[str]] = []
+        self._assignments: dict[str, int] = {}
+        self._conns: list[Any] = []
+        self._procs: list[Any] = []
+        #: counters surfaced by :meth:`stats`
+        self.rounds = 0
+        self.epochs = 0
+        self.messages_exchanged = 0
+        self.results_harvested = 0
+
+    # -- shard assignment --------------------------------------------------
+
+    def shard_for(self, peer_id: str) -> int:
+        """The shard owning ``peer_id`` (cached; assigner may override)."""
+        shard = self._assignments.get(peer_id)
+        if shard is None:
+            if self.assigner is not None:
+                override = self.assigner(peer_id, self.shards)
+                shard = (
+                    shard_of(peer_id, self.shards)
+                    if override is None
+                    else int(override) % self.shards
+                )
+            else:
+                shard = shard_of(peer_id, self.shards)
+            self._assignments[peer_id] = shard
+        return shard
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self.started:
+            return
+        system = self.system
+        # flush pre-start deployment traffic in-process so workers fork with
+        # a quiescent network and only their own residual state to filter
+        system.network.run()
+        self.owned_by_shard = [[] for _ in range(self.shards)]
+        for peer_id in system.peer_ids:
+            self.owned_by_shard[self.shard_for(peer_id)].append(peer_id)
+        ctx = get_context("fork")
+        self.started = True  # workers read this runtime as self-describing
+        for index in range(self.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(system, index, child_conn),
+                daemon=True,
+                name=f"p2pm-shard-{index}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        # the parent becomes a mirror: workers execute the pipelines, the
+        # parent only absorbs harvested results into delivery streams.
+        # Disconnect the mirror's publishers so absorption does not
+        # re-publish results onto the mirror network (workers forked with
+        # the connections intact and keep publishing within their shards).
+        for peer_id in system.peer_ids:
+            database = system.peer(peer_id).manager.database
+            for sub_id in database.subscription_ids:
+                task = database.get(sub_id).task
+                if task is not None and task.publisher is not None:
+                    task.publisher.disconnect()
+
+    def shutdown(self) -> None:
+        if not self._procs:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, max_steps: int | None = None) -> int:
+        if not self.started:
+            return self.system.network.run(max_steps)
+        self.epochs += 1
+        delivered = 0
+        incoming: list[list] = [[] for _ in range(self.shards)]
+        first = True
+        while True:
+            self.rounds += 1
+            # the first round must visit every worker (pending drive/ctrl
+            # commands and retained timers live there); later rounds only
+            # need the workers that actually have imports to deliver --
+            # a worker's heap is empty after its own drain
+            active = (
+                list(range(self.shards))
+                if first
+                else [i for i in range(self.shards) if incoming[i]]
+            )
+            first = False
+            replies = self._exchange(
+                {index: ("drain", incoming[index]) for index in active}
+            )
+            incoming = [[] for _ in range(self.shards)]
+            traffic = 0
+            for _, outgoing, count, errs in replies:
+                self._raise_on(errs)
+                delivered += count
+                for destination, batch in outgoing:
+                    incoming[destination].append(batch)
+                    traffic += len(batch[1])
+            self.messages_exchanged += traffic
+            if not traffic:
+                break
+        self._harvest()
+        return delivered
+
+    def tick(self) -> None:
+        if self.started:
+            self._broadcast(("ctrl", "tick", ()))
+        self.system._local_tick()
+
+    # -- external drivers --------------------------------------------------
+
+    def control(self, op: str, *args: Any) -> Any:
+        # the parent mirror tracks control state too (active_partitions,
+        # fault model) so scenario drain logic can query it
+        result = apply_control(self.system.network, op, args)
+        if self.started:
+            self._broadcast(("ctrl", op, args))
+        return result
+
+    def drive(self, peer_id: str, function: str, method: str, args: tuple) -> Any:
+        if not self.started:
+            alerter = self.system.peer(peer_id).alerter(function)
+            if alerter is None:
+                return False
+            return getattr(alerter, method)(*args)
+        self._conns[self.shard_for(peer_id)].send(
+            ("drive", peer_id, function, method, args)
+        )
+        return None
+
+    # -- capability guards -------------------------------------------------
+
+    def check_mutable(self, verb: str) -> None:
+        if self.started:
+            raise RuntimeError(
+                f"sharded runtime: {verb} is not supported after start_runtime(); "
+                "deploy every subscription before starting the workers"
+            )
+
+    def check_lifecycle(self, verb: str) -> None:
+        if self.started:
+            raise RuntimeError(
+                f"sharded runtime: {verb} is not supported after start_runtime(); "
+                "peer churn needs the single-process backend (or a future "
+                "shard-aware membership protocol)"
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "shards": self.shards,
+            "epochs": self.epochs,
+            "rounds": self.rounds,
+            "messages_exchanged": self.messages_exchanged,
+            "results_harvested": self.results_harvested,
+            "peers_per_shard": [len(owned) for owned in self.owned_by_shard],
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _exchange(self, commands: dict[int, tuple]) -> list[tuple]:
+        """Run one request/reply turn per addressed worker, strictly in
+        sequence: worker *i* finishes its command before worker *i+1* even
+        receives one.
+
+        Sequencing the turns is deliberate.  The shard workers share the
+        host's cores with each other, and letting them all drain
+        concurrently makes the OS timeslice between them, evicting each
+        worker's plan working set from cache several times per round.
+        Running the turns back to back keeps exactly one worker hot at a
+        time -- the win that makes a large sharded deployment scale -- and
+        as a bonus makes pipe deadlock impossible: the worker is always
+        blocked in ``recv`` when the parent sends, and the parent only
+        sends one command before draining the matching reply.
+        """
+        replies = []
+        try:
+            for index, command in commands.items():
+                conn = self._conns[index]
+                conn.send(command)
+                replies.append(conn.recv())
+        except EOFError as exc:  # pragma: no cover - worker crash
+            raise RuntimeError(
+                "a shard worker exited unexpectedly (see stderr for its traceback)"
+            ) from exc
+        return replies
+
+    def _broadcast(self, command: tuple) -> None:
+        for conn in self._conns:
+            conn.send(command)
+
+    def _harvest(self) -> None:
+        """Pull result deltas from every worker into the parent's handles.
+
+        Counts update the delivery valves (so ``handle.stats()`` stays
+        truthful); shipped items are re-emitted on the parent's delivery
+        streams, firing result buffers and ``on_result`` callbacks exactly
+        like a local delivery would (the mirror's publishers were
+        disconnected at start, so nothing is re-published).
+        """
+        system = self.system
+        replies = self._exchange(
+            {index: ("collect",) for index in range(self.shards)}
+        )
+        for _, rows, errs in replies:
+            self._raise_on(errs)
+            for manager_peer, sub_id, count, items in rows:
+                database = system.peer(manager_peer).manager.database
+                task = database.get(sub_id).task
+                if task is None:
+                    continue
+                self.results_harvested += count
+                if task.valve is not None:
+                    task.valve.items_delivered += count
+                if items and task.delivery is not None:
+                    emit = task.delivery.emit
+                    for data in items:
+                        emit(decode_element(data))
+
+    @staticmethod
+    def _raise_on(errors: list[str]) -> None:
+        if errors:
+            raise RuntimeError("shard worker error:\n" + "\n".join(errors))
+
+
+__all__ = ["ShardAssigner", "ShardOutboxes", "ShardedRuntime", "shard_of"]

@@ -34,11 +34,13 @@ from __future__ import annotations
 import hashlib
 import heapq
 import random
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.net.errors import UnknownPeerError
 from repro.net.faults import FaultModel
+from repro.net.scheduler import EventScheduler
 from repro.net.stats import NetworkStats
+from repro.net.wire import decode_element, encode_element
 from repro.xmlmodel.tree import Element
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -87,8 +89,45 @@ class Message:
             f"size={self.size}, deliver_at={self.deliver_at:.6f})"
         )
 
+    def to_wire(self) -> tuple:
+        """Flatten to plain tuples for a cross-process shard boundary.
+
+        The payload Element is encoded without its parent links (see
+        :mod:`repro.net.wire`); batches should prefer
+        :func:`repro.net.wire.encode_batch`, which shares fan-out payloads.
+        """
+        return (
+            self.source,
+            self.destination,
+            self.kind,
+            encode_element(self.payload),
+            self.size,
+            self.sent_at,
+            self.deliver_at,
+        )
+
+    @classmethod
+    def from_wire(cls, data: tuple) -> "Message":
+        """Rebuild a message flattened by :meth:`to_wire`."""
+        source, destination, kind, payload, size, sent_at, deliver_at = data
+        return cls(source, destination, kind, decode_element(payload), size, sent_at, deliver_at)
+
 
 PeerLifecycleListener = Callable[[str], None]
+
+
+class ShardBoundary(Protocol):
+    """What :class:`SimNetwork` needs from a shard boundary (duck-typed).
+
+    Installed by the sharded runtime's workers: events popped for a peer the
+    local shard does not own are exported to the owning shard instead of
+    being delivered.  ``None`` (the default) keeps the network whole.
+    """
+
+    owned: frozenset[str]
+
+    def export(self, message: Message) -> None:  # pragma: no cover - protocol
+        ...
 
 
 class Timer:
@@ -143,15 +182,16 @@ class SimNetwork:
         self.runtime_rng = random.Random(f"{seed}:runtime")
         self.base_latency = base_latency
         self.fault_model = fault_model
-        self.now = 0.0
+        #: the deterministic (time, sequence) event core; the heap holds
+        #: messages and timers, tie-broken by a unique sequence number so
+        #: entries themselves are never compared
+        self.scheduler = EventScheduler()
+        #: sharded-runtime hook: when set, events for peers the local shard
+        #: does not own are exported at delivery time instead of delivered
+        self.boundary: ShardBoundary | None = None
         self.stats = NetworkStats()
         self._peers: dict[str, "Peer"] = {}
         self._coordinates: dict[str, tuple[float, float]] = {}
-        #: heap of (deliver_at, sequence, message-or-timer); the unique
-        #: sequence number breaks timestamp ties, so entries themselves are
-        #: never compared
-        self._queue: list[tuple[float, int, Message | Timer]] = []
-        self._sequence = 0
         #: memoised per-pair latency; coordinates are fixed at registration,
         #: so entries only drop when a peer unregisters
         self._latency_cache: dict[tuple[str, str], float] = {}
@@ -179,6 +219,19 @@ class SimNetwork:
     def random(self) -> random.Random:
         """Deprecated alias of :attr:`topology_rng` (pre-fault-kernel name)."""
         return self.topology_rng
+
+    # ------------------------------------------------------------------ #
+    # Scheduler delegation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """The simulated clock (owned by the event scheduler)."""
+        return self.scheduler.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.scheduler.now = value
 
     # ------------------------------------------------------------------ #
     # Peer management
@@ -498,13 +551,14 @@ class SimNetwork:
             return messages
         # perfect-network burst: no faults, no partitions, no tracing --
         # inline the whole schedule step (latency lookup, stats, heap push)
-        now = self.now
+        scheduler = self.scheduler
+        now = scheduler.now
         latency = self.latency
         stats = self.stats
         pending = stats._pending
-        queue = self._queue
+        queue = scheduler.queue
         heappush = heapq.heappush
-        sequence = self._sequence
+        sequence = scheduler.sequence
         total_bytes = 0
         for destination, kind, payload in sends:
             if destination not in peers:
@@ -525,7 +579,7 @@ class SimNetwork:
             sequence += 1
             heappush(queue, (deliver_at, sequence, message))
             messages.append(message)
-        self._sequence = sequence
+        scheduler.sequence = sequence
         stats.total_messages += len(messages)
         stats.total_bytes += total_bytes
         if len(pending) >= stats.FLUSH_THRESHOLD:
@@ -575,9 +629,7 @@ class SimNetwork:
             # reschedules, which model a reliable transport retransmitting
             # across a temporary split: delayed, never lost or duplicated) --
             # no fault draws, one copy, straight onto the heap
-            sequence = self._sequence + 1
-            self._sequence = sequence
-            heapq.heappush(self._queue, (message.deliver_at, sequence, message))
+            self.scheduler.push(message.deliver_at, message)
             return message
         delays = self.fault_model.delivery_delays(size, self.runtime_rng)
         if delays is None:
@@ -603,8 +655,7 @@ class SimNetwork:
                     message.sent_at,
                     message.deliver_at + delay,
                 )
-            self._sequence += 1
-            heapq.heappush(self._queue, (copy.deliver_at, self._sequence, copy))
+            self.scheduler.push(copy.deliver_at, copy)
             if first is None:
                 first = copy
         assert first is not None
@@ -618,7 +669,7 @@ class SimNetwork:
 
     @property
     def pending_messages(self) -> int:
-        return len(self._queue)
+        return len(self.scheduler)
 
     @property
     def trace(self) -> list[Message]:
@@ -635,27 +686,31 @@ class SimNetwork:
         if delay < 0:
             raise ValueError("cannot schedule a timer in the past")
         timer = Timer(self.now + delay, callback)
-        self._sequence += 1
-        heapq.heappush(self._queue, (timer.fire_at, self._sequence, timer))
+        self.scheduler.push(timer.fire_at, timer)
         return timer
 
-    def _deliver_one(self, deliver_at: float, message: Message | Timer) -> None:
-        """Advance the clock and deliver (or drop) one dequeued event.
+    def _deliver_one(self, message: Message | Timer) -> None:
+        """Deliver (or drop) one dequeued event; the scheduler has already
+        advanced the clock to its fire time.
 
         The single copy of the delivery semantics: both :meth:`step` and the
         :meth:`run` drain loop funnel through here, so drop rules, logging
         and handler dispatch cannot diverge between single-stepping and
-        batch draining.  Timers share the funnel: the clock advances, then
-        the callback fires unless the timer was cancelled.
+        batch draining.  Timers share the funnel: the callback fires unless
+        the timer was cancelled.  With a shard boundary installed, messages
+        for peers the local shard does not own are exported to the owning
+        shard instead -- liveness and departure are the owner's call.
         """
-        if deliver_at > self.now:
-            self.now = deliver_at
         if type(message) is Timer:
             if not message.cancelled:
                 message.callback()
             return
         assert isinstance(message, Message)
         destination = message.destination
+        boundary = self.boundary
+        if boundary is not None and destination not in boundary.owned:
+            boundary.export(message)
+            return
         if destination in self._down:
             self.messages_dropped_peer_down += 1
             if self.record_events:
@@ -673,31 +728,18 @@ class SimNetwork:
 
     def step(self) -> bool:
         """Deliver the next queued message.  Returns False when idle."""
-        if not self._queue:
-            return False
-        deliver_at, _, message = heapq.heappop(self._queue)
-        self._deliver_one(deliver_at, message)
-        return True
+        return self.scheduler.step(self._deliver_one)
 
     def run(self, max_steps: int | None = None) -> int:
         """Deliver messages until the queue drains (or ``max_steps`` is hit).
 
         Handlers may send further messages; those are processed too.  Returns
-        the number of messages delivered.  The drain loop stays flat -- one
-        heap pop and one :meth:`_deliver_one` call per message -- because it
-        brackets every hop of the delivery path.
+        the number of messages delivered.  The drain loop lives in
+        :meth:`EventScheduler.drain` and stays flat -- one heap pop and one
+        :meth:`_deliver_one` call per message -- because it brackets every
+        hop of the delivery path.
         """
-        queue = self._queue
-        heappop = heapq.heappop
-        deliver_one = self._deliver_one
-        delivered = 0
-        while queue:
-            if max_steps is not None and delivered >= max_steps:
-                break
-            deliver_at, _, message = heappop(queue)
-            deliver_one(deliver_at, message)
-            delivered += 1
-        return delivered
+        return self.scheduler.drain(self._deliver_one, max_steps)
 
     def run_until_idle(self, max_steps: int | None = None) -> int:
         """Drain the queue completely (alias of :meth:`run`, named for intent)."""

@@ -189,11 +189,18 @@ def scenario_names() -> list[str]:
     return sorted(SCENARIOS)
 
 
+#: Scenarios the sharded runtime can execute: no peer churn (fail/revive
+#: raise once the shard workers fork) and no reliable control plane.
+SHARDABLE_SCENARIOS = ("partition-heal", "flaky-network", "lossy-network")
+
+
 def make_scenario(
     name: str,
     seed: int = 0,
     failure_mode: str | None = None,
     execution_mode: str | None = None,
+    runtime: str | None = None,
+    shards: int = 0,
 ) -> ChaosScenario:
     """Instantiate a named scenario for the given seed.
 
@@ -202,7 +209,10 @@ def make_scenario(
     traces, and A/B comparisons run the same scenario in both modes.
     ``execution_mode`` selects interpreted (default) or compiled plan
     execution; the compiled differential suite runs every scenario in both
-    and asserts identical fingerprints.
+    and asserts identical fingerprints.  ``runtime="sharded"`` partitions
+    the peers across ``shards`` worker processes -- only scenarios in
+    :data:`SHARDABLE_SCENARIOS` qualify (no peer churn), and the failure
+    mode is forced to ``oracle`` (the sharded v1 restriction).
     """
     try:
         factory = SCENARIOS[name]
@@ -215,4 +225,14 @@ def make_scenario(
         scenario.failure_mode = failure_mode
     if execution_mode is not None:
         scenario.execution_mode = execution_mode
+    if runtime is not None and runtime != "single":
+        if name not in SHARDABLE_SCENARIOS:
+            raise ValueError(
+                f"scenario {name!r} cannot run sharded (peer churn or a "
+                f"reliable control plane); shardable: {', '.join(SHARDABLE_SCENARIOS)}"
+            )
+        scenario.runtime = runtime
+        scenario.shards = shards or 2
+        scenario.failure_mode = "oracle"
+        scenario.reliable_control = False
     return scenario

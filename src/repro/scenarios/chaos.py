@@ -167,6 +167,12 @@ class ChaosScenario:
     #: "interpreted" (default) or "compiled" (fused pipeline closures); the
     #: differential suite pins both modes to identical fingerprints
     execution_mode: str = "interpreted"
+    #: "single" (default) or "sharded" (peer set partitioned across worker
+    #: processes).  Sharded runs require ``failure_mode="oracle"`` and a
+    #: schedule without peer churn; equivalence is stated over the received
+    #: multiset, not the event-log fingerprint (per-shard logs interleave).
+    runtime: str = "single"
+    shards: int = 0
 
     # -- execution ---------------------------------------------------------------
 
@@ -176,6 +182,8 @@ class ChaosScenario:
             failure_mode=self.failure_mode,
             reliable_control=self.reliable_control,
             execution_mode=self.execution_mode,
+            runtime=self.runtime,
+            shards=self.shards,
         )
         sources = [f"s{i}" for i in range(self.n_sources)]
         for source in sources:
@@ -184,13 +192,13 @@ class ChaosScenario:
         system.network.record_events = True
 
         if self.apply_faults_before_subscribe and self.fault_model is not None:
-            system.network.set_fault_model(self.fault_model)
+            system.set_fault_model(self.fault_model)
         handle = monitor.subscribe(
             self._subscription_text(sources), sub_id=f"{self.name}-sub"
         )
         system.run()
         if self.fault_model is not None and not self.apply_faults_before_subscribe:
-            system.network.set_fault_model(self.fault_model)
+            system.set_fault_model(self.fault_model)
 
         received: list[tuple[str, int]] = []
 
@@ -198,6 +206,10 @@ class ChaosScenario:
             received.append((item.find("src").text, int(item.find("n").text)))
 
         handle.on_result(collect)
+        # hand execution to the runtime backend (a no-op for "single"; forks
+        # the shard workers for "sharded" -- callbacks are attached above so
+        # the workers know this subscription's items must ship back)
+        system.start_runtime()
 
         workload = ChaosFeedWorkload(sources)
         churn_rng = random.Random(f"{self.seed}:churn")
@@ -238,9 +250,9 @@ class ChaosScenario:
         # drain: lift every fault, then keep emitting so "eventually
         # delivered" invariants have something to check
         drain_start = self.ticks
-        system.network.set_fault_model(None)
+        system.set_fault_model(None)
         for partition_name in list(system.network.active_partitions):
-            system.network.heal(partition_name)
+            system.heal(partition_name)
         for peer_id in sorted(system.down_peers()):
             system.revive_peer(peer_id)
         system.run()
@@ -253,6 +265,7 @@ class ChaosScenario:
             system.run()
             drain_timelines(tick)
         system.run()
+        system.shutdown()
 
         result = ScenarioResult(
             name=self.name,
@@ -319,17 +332,17 @@ class ChaosScenario:
                 self._resolve_group(group, sources)
                 for group in action.target["groups"]
             ]
-            system.network.partition(name, *groups)
+            system.partition(name, *groups)
             disruptions.append((tick, "partition", name))
         elif action.action == "heal":
-            system.network.heal(str(action.target))
+            system.heal(str(action.target))
             disruptions.append((tick, "heal", str(action.target)))
         elif action.action == "faults":
             assert isinstance(action.target, FaultModel)
-            system.network.set_fault_model(action.target)
+            system.set_fault_model(action.target)
             disruptions.append((tick, "faults", repr(action.target)))
         elif action.action == "clear-faults":
-            system.network.set_fault_model(None)
+            system.set_fault_model(None)
             disruptions.append((tick, "clear-faults", ""))
         else:
             raise ValueError(f"unknown scenario action {action.action!r}")
