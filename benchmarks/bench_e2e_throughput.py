@@ -147,7 +147,11 @@ def measure(
 
 
 def build_shard_workload(
-    runtime: str, n_subscribers: int, shards: int, seed: int = 11
+    runtime: str,
+    n_subscribers: int,
+    shards: int,
+    seed: int = 11,
+    supervise: bool = True,
 ) -> tuple[P2PMSystem, list]:
     """One source peer feeding ``n_subscribers`` plans spread over ``shards``
     manager peers.
@@ -176,7 +180,12 @@ def build_shard_workload(
         "execution_mode": "compiled",
     }
     if runtime == "sharded":
-        kwargs.update(runtime="sharded", shards=shards, shard_assigner=pin)
+        kwargs.update(
+            runtime="sharded",
+            shards=shards,
+            shard_assigner=pin,
+            supervise=supervise,
+        )
     system = P2PMSystem(**kwargs)
     source = system.add_peer("src")
     source.get_or_create_alerter(CHAOS_FUNCTION)
@@ -204,6 +213,7 @@ def measure_shard(
     n_items: int,
     rounds: int,
     seed: int = 11,
+    supervise: bool = True,
 ) -> dict:
     """Best-of-``rounds`` emit+deliver timing for one runtime backend.
 
@@ -211,8 +221,16 @@ def measure_shard(
     single-process runtime increments them in-process, the sharded runtime
     through its result harvest -- so both backends are counted by the same
     instrument.
+
+    The ``sharded`` row runs with the supervisor on (the production
+    default), so the baseline compare gates supervision overhead for free.
+    ``supervise=False`` produces a ``sharded-raw`` row -- a label the
+    baseline never carries, so the gate skips it -- whose only job is the
+    ``supervision_overhead_*`` summary entries.
     """
-    system, handles = build_shard_workload(runtime, n_subscribers, shards, seed)
+    system, handles = build_shard_workload(
+        runtime, n_subscribers, shards, seed, supervise=supervise
+    )
     system.start_runtime()
     valves = [handle.task.valve for handle in handles]
 
@@ -250,7 +268,8 @@ def measure_shard(
     return {
         "experiment": "SHARD",
         "subscribers": n_subscribers,
-        "runtime": runtime,
+        "runtime": runtime if supervise else f"{runtime}-raw",
+        "supervised": supervise and runtime == "sharded",
         "shards": shards if runtime == "sharded" else 0,
         "items": n_items,
         "best_seconds": round(best_elapsed, 6),
@@ -363,10 +382,19 @@ def run(quick: bool = False, only: str | None = None) -> dict:
                 rows.append(measure_pipeline(mode, n_subscribers, n_items, rounds))
     if only in (None, "shard"):
         for n_subscribers, n_items, rounds in shard_matrix:
-            for runtime in ("single", "sharded"):
+            for runtime, supervise in (
+                ("single", True),
+                ("sharded", True),
+                ("sharded", False),
+            ):
                 rows.append(
                     measure_shard(
-                        runtime, n_subscribers, SHARD_WORKERS, n_items, rounds
+                        runtime,
+                        n_subscribers,
+                        SHARD_WORKERS,
+                        n_items,
+                        rounds,
+                        supervise=supervise,
                     )
                 )
     summary: dict = {"suite": "e2e", "quick": quick, "throughput": rows}
@@ -402,6 +430,21 @@ def run(quick: bool = False, only: str | None = None) -> dict:
         if 1000 in by_size and 10000 in by_size:
             summary[f"shard_scaling_{runtime}"] = round(
                 by_size[10000] / by_size[1000], 2
+            )
+    # what the per-epoch deadline guard costs: fraction of the raw
+    # (unsupervised) sharded rate lost when the supervisor bounds every
+    # worker turn -- kept near zero by polling only while a turn is open
+    for n_subscribers, _items, _rounds in shard_matrix:
+        rates = {
+            row["runtime"]: row["deliveries_per_sec"]
+            for row in rows
+            if row.get("experiment") == "SHARD"
+            and row["subscribers"] == n_subscribers
+            and row["runtime"] in ("sharded", "sharded-raw")
+        }
+        if "sharded" in rates and "sharded-raw" in rates and rates["sharded-raw"]:
+            summary[f"supervision_overhead_{n_subscribers // 1000}k"] = round(
+                1.0 - rates["sharded"] / rates["sharded-raw"], 3
             )
     return summary
 
@@ -516,6 +559,9 @@ def main(argv: list[str] | None = None) -> int:
     ):
         if key in summary:
             print(f"{key.replace('_', ' ')}: {summary[key]}x")
+    for key in ("supervision_overhead_1k", "supervision_overhead_10k"):
+        if key in summary:
+            print(f"{key.replace('_', ' ')}: {summary[key]:.1%}")
     print(f"wrote {out_path}")
     if baseline is not None:
         problems = compare_to_baseline(summary, baseline, args.tolerance)

@@ -76,6 +76,8 @@ class P2PMSystem:
         runtime: str = "single",
         shards: int = 0,
         shard_assigner=None,
+        supervise: bool = True,
+        supervisor_config=None,
         placement_mode: str | None = None,
     ) -> None:
         if failure_mode not in ("oracle", "detector"):
@@ -171,7 +173,14 @@ class P2PMSystem:
         self._peers: dict[str, P2PMPeer] = {}
         #: execution backend: who drains the event scheduler(s), and where
         #: (see :mod:`repro.net.runtime`)
-        self.runtime = create_runtime(runtime, self, shards=shards, assigner=shard_assigner)
+        self.runtime = create_runtime(
+            runtime,
+            self,
+            shards=shards,
+            assigner=shard_assigner,
+            supervise=supervise,
+            supervisor_config=supervisor_config,
+        )
 
     # -- peers ------------------------------------------------------------------
 

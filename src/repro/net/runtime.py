@@ -162,14 +162,27 @@ def create_runtime(
     system: "P2PMSystem",
     shards: int | None = None,
     assigner: Any = None,
+    supervise: bool = True,
+    supervisor_config: Any = None,
 ) -> Runtime:
-    """Instantiate the runtime backend ``name`` for ``system``."""
+    """Instantiate the runtime backend ``name`` for ``system``.
+
+    ``supervise``/``supervisor_config`` configure the sharded backend's
+    worker supervision and failover layer (see :mod:`repro.net.supervisor`);
+    the single-process backend ignores them.
+    """
     if name == "single":
         return SingleProcessRuntime(system)
     if name == "sharded":
         from repro.net.shard import ShardedRuntime
 
-        return ShardedRuntime(system, shards=shards or 2, assigner=assigner)
+        return ShardedRuntime(
+            system,
+            shards=shards or 2,
+            assigner=assigner,
+            supervise=supervise,
+            supervisor_config=supervisor_config,
+        )
     raise ValueError(f"runtime must be one of {RUNTIMES}, got {name!r}")
 
 

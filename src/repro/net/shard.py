@@ -38,17 +38,47 @@ v1 restrictions (each enforced with an explicit error):
 * result callbacks (``handle.on_result``) must be attached before
   :meth:`start`, so the forked workers know which subscriptions need their
   items (not just their counts) shipped back to the parent.
+
+Worker supervision and failover (on by default, ``supervise=False`` opts
+out): every worker turn is bounded by a
+:class:`~repro.net.supervisor.ShardSupervisor` deadline and liveness check.
+A worker that crashes, hangs past the deadline or replies off-protocol is
+*lost*: the parent fails over every peer the dead shard owned through the
+ordinary oracle chain -- ``network.fail_peer`` + KadoP re-replication in the
+parent mirror *and* (via a control broadcast) in every surviving worker,
+with :class:`~repro.monitor.recovery.RecoveryManager` redeployment running
+in the parent (whose handles must keep working) and in the worker owning
+each affected subscription's manager peer (which executes the replacement
+pipeline) -- then drops the dead shard from the epoch roster so subsequent
+rounds skip it.  Redeployment placement is deterministic and every process
+applies the same fail_peer sequence at the same epoch boundary, so the
+surviving processes stay in lock-step agreement about stream ids and
+placements.  When more than half the shards are lost the runtime aborts
+with a typed :class:`~repro.net.errors.FailoverImpossible` instead of
+degrading past quorum -- and never, in any of these paths, hangs.
 """
 
 from __future__ import annotations
 
 import gc
+import time
 import traceback
 from hashlib import sha1
 from multiprocessing import get_context
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.net.errors import (
+    FailoverImpossible,
+    ShardWorkerError,
+    WorkerCrashed,
+    WorkerFailure,
+)
 from repro.net.runtime import Runtime, SingleProcessRuntime, apply_control
+from repro.net.supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    WorkerFaultInjector,
+)
 from repro.net.wire import decode_batch, decode_element, encode_batch, encode_element
 from repro.streams.item import is_eos
 
@@ -202,6 +232,7 @@ def _worker_main(system: "P2PMSystem", index: int, conn: Any) -> None:
 
     errors: list[str] = []
     boundary = network.boundary
+    poison_next = False  # injected: reply off-protocol on the next drain
     while True:
         try:
             command = conn.recv()
@@ -215,8 +246,12 @@ def _worker_main(system: "P2PMSystem", index: int, conn: Any) -> None:
                     for message in decode_batch(batch):
                         push(message.deliver_at, message)
                 delivered = network.run()
-                conn.send(("out", boundary.take(), delivered, errors))
-                errors = []
+                if poison_next:
+                    poison_next = False
+                    conn.send(("oops", "injected protocol corruption"))
+                else:
+                    conn.send(("out", boundary.take(), delivered, errors))
+                    errors = []
             elif op == "drive":
                 _, peer_id, function, method, args = command
                 alerter = system.peer(peer_id).alerter(function)
@@ -226,11 +261,35 @@ def _worker_main(system: "P2PMSystem", index: int, conn: Any) -> None:
                 _, name, args = command
                 if name == "tick":
                     system.tick()
+                elif name == "fail_peer":
+                    # failover broadcast from the parent: every worker runs
+                    # the full oracle chain -- mark the peer down,
+                    # re-replicate its index keys, and replay the recovery
+                    # redeployment against its own peer mirrors.  The
+                    # deployer is deterministic, so each worker converges on
+                    # the same new-epoch wiring for the peers it owns (the
+                    # redeployed operators at source peers live here, not in
+                    # the manager's shard); redundant copies of the
+                    # subscribe/unsubscribe control messages the replay
+                    # ships cross-shard are idempotent at the receiver.
+                    (peer_id,) = args
+                    if network.fail_peer(peer_id, notify=True):
+                        system.kadop.fail_peer(peer_id)
+                        system.recovery.handle_peer_failure(peer_id)
+                        network.run()
                 else:
                     apply_control(network, name, args)
             elif op == "collect":
                 conn.send(("results", collector.take(), errors))
                 errors = []
+            elif op == "ping":
+                conn.send(("pong", index))
+            elif op == "hang":
+                # injected: a worker stuck in a busy loop / lost to the
+                # scheduler; only the supervisor's deadline can notice
+                time.sleep(3600.0)
+            elif op == "corrupt":
+                poison_next = True
             elif op == "stop":
                 break
         except Exception:
@@ -243,6 +302,9 @@ def _worker_main(system: "P2PMSystem", index: int, conn: Any) -> None:
             elif op == "collect":
                 conn.send(("results", [], errors + [err]))
                 errors = []
+            elif op == "ping":
+                conn.send(("pong", index))
+                errors.append(err)
             else:
                 errors.append(err)
     conn.close()
@@ -258,6 +320,8 @@ class ShardedRuntime(Runtime):
         system: "P2PMSystem",
         shards: int = 2,
         assigner: ShardAssigner | None = None,
+        supervise: bool = True,
+        supervisor_config: SupervisorConfig | None = None,
     ) -> None:
         super().__init__(system)
         if shards < 2:
@@ -268,11 +332,24 @@ class ShardedRuntime(Runtime):
         self._assignments: dict[str, int] = {}
         self._conns: list[Any] = []
         self._procs: list[Any] = []
+        #: worker turn deadlines + liveness classification (None = legacy
+        #: unsupervised mode, where a loss raises instead of failing over)
+        self.supervisor = ShardSupervisor(supervisor_config) if supervise else None
+        #: deterministic worker-level fault injection (scenarios, tests)
+        self.fault_injector: WorkerFaultInjector | None = None
+        #: shards whose worker was lost and failed over; epochs skip them
+        self.lost_shards: set[int] = set()
+        #: peers transferred through failover, in fail_peer order -- chaos
+        #: scenarios drain this to attribute the failures to their tick
+        self.failed_over_peers: list[str] = []
+        #: a FailoverImpossible abort, re-raised by every later call
+        self._aborted: FailoverImpossible | None = None
         #: counters surfaced by :meth:`stats`
         self.rounds = 0
         self.epochs = 0
         self.messages_exchanged = 0
         self.results_harvested = 0
+        self.batches_dropped = 0
 
     # -- shard assignment --------------------------------------------------
 
@@ -306,45 +383,75 @@ class ShardedRuntime(Runtime):
             self.owned_by_shard[self.shard_for(peer_id)].append(peer_id)
         ctx = get_context("fork")
         self.started = True  # workers read this runtime as self-describing
-        for index in range(self.shards):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(system, index, child_conn),
-                daemon=True,
-                name=f"p2pm-shard-{index}",
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        try:
+            for index in range(self.shards):
+                parent_conn, child_conn = ctx.Pipe()
+                # register the parent end first: if the fork below fails,
+                # _teardown() still finds (and closes) this pipe
+                self._conns.append(parent_conn)
+                try:
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(system, index, child_conn),
+                        daemon=True,
+                        name=f"p2pm-shard-{index}",
+                    )
+                    proc.start()
+                finally:
+                    # the parent's copy of the child end is closed on every
+                    # path -- including a Process that never started -- so a
+                    # mid-start failure leaks no descriptors
+                    child_conn.close()
+                self._procs.append(proc)
+            if self.supervisor is not None and self.supervisor.config.startup_ping:
+                # confirm every worker survived the fork and is serving
+                # before the first epoch; a startup death is a hard,
+                # typed error, not a failover (nothing ran yet)
+                for index in range(self.shards):
+                    self.supervisor.heartbeat(
+                        index, self._procs[index], self._conns[index]
+                    )
+        except BaseException:
+            self.started = False
+            self._teardown()
+            raise
         # the parent becomes a mirror: workers execute the pipelines, the
         # parent only absorbs harvested results into delivery streams.
         # Disconnect the mirror's publishers so absorption does not
         # re-publish results onto the mirror network (workers forked with
         # the connections intact and keep publishing within their shards).
-        for peer_id in system.peer_ids:
-            database = system.peer(peer_id).manager.database
-            for sub_id in database.subscription_ids:
-                task = database.get(sub_id).task
-                if task is not None and task.publisher is not None:
-                    task.publisher.disconnect()
+        self._disconnect_mirror_publishers()
 
     def shutdown(self) -> None:
         if not self._procs:
             return
-        for conn in self._conns:
+        for index, conn in enumerate(self._conns):
+            if index in self.lost_shards:
+                continue  # already dead; its pipe may be broken
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
+        self._teardown()
+
+    def _teardown(self) -> None:
+        """Reap every worker and close every pipe end; idempotent."""
         for proc in self._procs:
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
                 proc.join(timeout=1)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=5)
+            # join() reaped the exit status; close() releases the process
+            # object's sentinel descriptor so nothing leaks into long runs
+            proc.close()
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._conns = []
         self._procs = []
 
@@ -353,7 +460,10 @@ class ShardedRuntime(Runtime):
     def run(self, max_steps: int | None = None) -> int:
         if not self.started:
             return self.system.network.run(max_steps)
+        self._check_aborted()
         self.epochs += 1
+        lost_at_entry = len(self.lost_shards)
+        self._inject_faults()
         delivered = 0
         incoming: list[list] = [[] for _ in range(self.shards)]
         first = True
@@ -363,31 +473,50 @@ class ShardedRuntime(Runtime):
             # commands and retained timers live there); later rounds only
             # need the workers that actually have imports to deliver --
             # a worker's heap is empty after its own drain
-            active = (
-                list(range(self.shards))
-                if first
-                else [i for i in range(self.shards) if incoming[i]]
-            )
+            active = [
+                i
+                for i in range(self.shards)
+                if i not in self.lost_shards and (first or incoming[i])
+            ]
             first = False
-            replies = self._exchange(
+            replies, failures = self._exchange(
                 {index: ("drain", incoming[index]) for index in active}
             )
             incoming = [[] for _ in range(self.shards)]
             traffic = 0
+            dead = self.lost_shards | set(failures)
             for _, outgoing, count, errs in replies:
                 self._raise_on(errs)
                 delivered += count
                 for destination, batch in outgoing:
+                    if destination in dead:
+                        # in-flight traffic addressed to a shard that died
+                        # this round: crash semantics, dropped and counted
+                        self.batches_dropped += 1
+                        continue
                     incoming[destination].append(batch)
                     traffic += len(batch[1])
             self.messages_exchanged += traffic
+            if failures:
+                # fail over *between* rounds, so the parent mirror and every
+                # surviving worker apply the same fail_peer sequence at the
+                # same protocol boundary (pipe FIFO ordering delivers the
+                # ctrl before the next drain).  The next round re-visits
+                # every survivor: redeployment control traffic is sitting in
+                # their boundaries waiting for a drain to ship it.
+                self._failover(failures)
+                first = True
+                continue
             if not traffic:
                 break
         self._harvest()
+        if len(self.lost_shards) > lost_at_entry:
+            self.system.network.stats.epochs_stalled += 1
         return delivered
 
     def tick(self) -> None:
         if self.started:
+            self._check_aborted()
             self._broadcast(("ctrl", "tick", ()))
         self.system._local_tick()
 
@@ -398,6 +527,7 @@ class ShardedRuntime(Runtime):
         # fault model) so scenario drain logic can query it
         result = apply_control(self.system.network, op, args)
         if self.started:
+            self._check_aborted()
             self._broadcast(("ctrl", op, args))
         return result
 
@@ -407,10 +537,32 @@ class ShardedRuntime(Runtime):
             if alerter is None:
                 return False
             return getattr(alerter, method)(*args)
-        self._conns[self.shard_for(peer_id)].send(
-            ("drive", peer_id, function, method, args)
-        )
+        self._check_aborted()
+        shard = self.shard_for(peer_id)
+        if shard in self.lost_shards:
+            return None  # the peer died with its worker; callers see it down
+        try:
+            self._send(shard, ("drive", peer_id, function, method, args))
+        except WorkerFailure as failure:
+            if self.supervisor is None:
+                raise  # unsupervised mode reports, it does not fail over
+            self._failover({shard: failure})
         return None
+
+    def inject_worker_fault(
+        self, kind: str, shard: int | None = None, epoch: int | None = None
+    ) -> None:
+        """Arm a deterministic worker fault (``kill``/``hang``/``corrupt``).
+
+        With ``epoch=None`` the fault fires at the start of the next
+        :meth:`run`; otherwise when the epoch counter reaches ``epoch``.
+        """
+        if self.fault_injector is None:
+            self.fault_injector = WorkerFaultInjector()
+        if epoch is None:
+            self.fault_injector.arm(kind, shard)
+        else:
+            self.fault_injector.at_epoch(epoch, kind, shard)
 
     # -- capability guards -------------------------------------------------
 
@@ -439,11 +591,20 @@ class ShardedRuntime(Runtime):
             "messages_exchanged": self.messages_exchanged,
             "results_harvested": self.results_harvested,
             "peers_per_shard": [len(owned) for owned in self.owned_by_shard],
+            "supervised": self.supervisor is not None,
+            "workers_lost": sorted(self.lost_shards),
+            "peers_failed_over": len(self.failed_over_peers),
+            "batches_dropped": self.batches_dropped,
         }
 
     # -- internals ---------------------------------------------------------
 
-    def _exchange(self, commands: dict[int, tuple]) -> list[tuple]:
+    #: reply tag each request op expects (shape-validated by the supervisor)
+    _EXPECT = {"drain": "out", "collect": "results", "ping": "pong"}
+
+    def _exchange(
+        self, commands: dict[int, tuple]
+    ) -> tuple[list[tuple], dict[int, WorkerFailure]]:
         """Run one request/reply turn per addressed worker, strictly in
         sequence: worker *i* finishes its command before worker *i+1* even
         receives one.
@@ -457,22 +618,148 @@ class ShardedRuntime(Runtime):
         as a bonus makes pipe deadlock impossible: the worker is always
         blocked in ``recv`` when the parent sends, and the parent only
         sends one command before draining the matching reply.
+
+        Supervised mode returns the turns that ended in a confirmed worker
+        loss as ``{shard: WorkerFailure}`` for the caller to fail over;
+        unsupervised mode raises the first loss (typed, never a hang on
+        EOF -- only a deadline needs the supervisor).
         """
         replies = []
-        try:
-            for index, command in commands.items():
-                conn = self._conns[index]
-                conn.send(command)
-                replies.append(conn.recv())
-        except EOFError as exc:  # pragma: no cover - worker crash
-            raise RuntimeError(
-                "a shard worker exited unexpectedly (see stderr for its traceback)"
-            ) from exc
-        return replies
+        failures: dict[int, WorkerFailure] = {}
+        for index, command in commands.items():
+            conn, proc = self._conns[index], self._procs[index]
+            if self.supervisor is None:
+                try:
+                    conn.send(command)
+                    replies.append(conn.recv())
+                except (EOFError, BrokenPipeError, OSError) as exc:
+                    raise WorkerCrashed(
+                        index,
+                        "pipe closed (unsupervised mode: see the worker's "
+                        "stderr for its traceback)",
+                    ) from exc
+                continue
+            try:
+                replies.append(
+                    self.supervisor.request(
+                        index, proc, conn, command, expect=self._EXPECT[command[0]]
+                    )
+                )
+            except WorkerFailure as failure:
+                failures[index] = failure
+        return replies, failures
+
+    def _send(self, index: int, command: tuple) -> None:
+        """Fire-and-forget send to one worker (supervised when enabled)."""
+        if self.supervisor is None:
+            try:
+                self._conns[index].send(command)
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashed(
+                    index,
+                    "pipe closed (unsupervised mode: see the worker's "
+                    "stderr for its traceback)",
+                ) from exc
+        else:
+            self.supervisor.send(index, self._procs[index], self._conns[index], command)
 
     def _broadcast(self, command: tuple) -> None:
-        for conn in self._conns:
-            conn.send(command)
+        failures: dict[int, WorkerFailure] = {}
+        for index in range(self.shards):
+            if index in self.lost_shards:
+                continue
+            try:
+                self._send(index, command)
+            except WorkerFailure as failure:
+                if self.supervisor is None:
+                    raise  # unsupervised mode reports, it does not fail over
+                failures[index] = failure
+        if failures:
+            self._failover(failures)
+
+    def _inject_faults(self) -> None:
+        """Apply the fault injector's faults due at this epoch, if any."""
+        if self.fault_injector is None:
+            return
+        alive = [i for i in range(self.shards) if i not in self.lost_shards]
+        for kind, shard in self.fault_injector.take(self.epochs, alive):
+            if kind == "kill":
+                WorkerFaultInjector.kill_process(self._procs[shard])
+            elif kind == "hang":
+                self._conns[shard].send(("hang",))
+            elif kind == "corrupt":
+                self._conns[shard].send(("corrupt",))
+
+    def _check_aborted(self) -> None:
+        if self._aborted is not None:
+            raise self._aborted
+
+    def _failover(self, failures: dict[int, WorkerFailure]) -> None:
+        """Transfer every peer of the lost shards through oracle fail_peer.
+
+        The parent mirror applies the full chain (network down-marking,
+        KadoP re-replication, recovery redeployment -- its handles must keep
+        delivering); every surviving worker receives the same fail_peer
+        sequence as a control broadcast.  A survivor dying *during* the
+        broadcast simply joins the worklist.  When more than half the shards
+        are gone the runtime aborts with FailoverImpossible instead.
+        """
+        system = self.system
+        stats = system.network.stats
+        queue = sorted(failures)
+        self.lost_shards.update(queue)
+        while queue:
+            if 2 * len(self.lost_shards) > self.shards:
+                self._aborted = FailoverImpossible(
+                    sorted(self.lost_shards), self.shards
+                )
+                raise self._aborted
+            shard = queue.pop(0)
+            stats.worker_restarts += 1
+            owned = [
+                peer_id
+                for peer_id in self.owned_by_shard[shard]
+                if system.network.is_alive(peer_id)
+            ]
+            for peer_id in owned:
+                self._mirror_fail_peer(peer_id)
+                self.failed_over_peers.append(peer_id)
+                stats.peers_failed_over += 1
+                for other in range(self.shards):
+                    if other in self.lost_shards:
+                        continue
+                    try:
+                        self._send(other, ("ctrl", "fail_peer", (peer_id,)))
+                    except WorkerFailure:
+                        self.lost_shards.add(other)
+                        queue.append(other)
+        # the mirror's recovery redeploys scheduled control sends the parent
+        # never executes (workers run the authoritative copies) and created
+        # fresh, connected publishers; neutralise both
+        system.network.scheduler.retain(lambda event: False)
+        self._disconnect_mirror_publishers()
+
+    def _mirror_fail_peer(self, peer_id: str) -> None:
+        """The oracle fail_peer chain, applied to the parent mirror.
+
+        Bypasses ``system.fail_peer`` deliberately: user-driven lifecycle
+        churn stays frozen post-start (check_lifecycle), but failover *is*
+        the runtime and must keep the mirror's recovery state truthful.
+        """
+        system = self.system
+        if not system.network.fail_peer(peer_id, notify=True):
+            return
+        system.kadop.fail_peer(peer_id)
+        system.recovery.handle_peer_failure(peer_id)
+
+    def _disconnect_mirror_publishers(self) -> None:
+        system = self.system
+        for peer_id in system.peer_ids:
+            database = system.peer(peer_id).manager.database
+            for sub_id in database.subscription_ids:
+                task = database.get(sub_id).task
+                if task is not None and task.publisher is not None:
+                    task.publisher.disconnect()
 
     def _harvest(self) -> None:
         """Pull result deltas from every worker into the parent's handles.
@@ -481,11 +768,17 @@ class ShardedRuntime(Runtime):
         truthful); shipped items are re-emitted on the parent's delivery
         streams, firing result buffers and ``on_result`` callbacks exactly
         like a local delivery would (the mirror's publishers were
-        disconnected at start, so nothing is re-published).
+        disconnected at start, so nothing is re-published).  A worker lost
+        during harvest forfeits its uncollected deltas (crash semantics)
+        and is failed over like any other loss.
         """
         system = self.system
-        replies = self._exchange(
-            {index: ("collect",) for index in range(self.shards)}
+        replies, failures = self._exchange(
+            {
+                index: ("collect",)
+                for index in range(self.shards)
+                if index not in self.lost_shards
+            }
         )
         for _, rows, errs in replies:
             self._raise_on(errs)
@@ -501,11 +794,13 @@ class ShardedRuntime(Runtime):
                     emit = task.delivery.emit
                     for data in items:
                         emit(decode_element(data))
+        if failures:
+            self._failover(failures)
 
     @staticmethod
     def _raise_on(errors: list[str]) -> None:
         if errors:
-            raise RuntimeError("shard worker error:\n" + "\n".join(errors))
+            raise ShardWorkerError(errors)
 
 
 __all__ = ["ShardAssigner", "ShardOutboxes", "ShardedRuntime", "shard_of"]

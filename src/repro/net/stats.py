@@ -47,6 +47,9 @@ class NetworkStats:
         "items_replayed",
         "items_shed",
         "acks_sent",
+        "worker_restarts",
+        "peers_failed_over",
+        "epochs_stalled",
     )
 
     def __init__(self) -> None:
@@ -69,6 +72,13 @@ class NetworkStats:
         self.items_replayed = 0
         self.items_shed = 0
         self.acks_sent = 0
+        # sharded-runtime failover accounting: worker processes lost and
+        # failed over (the supervisor "restarts" the epoch without them),
+        # peers transferred through oracle fail_peer, and epochs that lost
+        # at least one worker turn to a confirmed failure
+        self.worker_restarts = 0
+        self.peers_failed_over = 0
+        self.epochs_stalled = 0
 
     #: pending-buffer size at which record() folds the buffer into the
     #: aggregate dicts, so a long run that never reads the breakdowns keeps
@@ -165,6 +175,9 @@ class NetworkStats:
         self.items_replayed = 0
         self.items_shed = 0
         self.acks_sent = 0
+        self.worker_restarts = 0
+        self.peers_failed_over = 0
+        self.epochs_stalled = 0
 
     def snapshot(self) -> dict[str, int]:
         return {"messages": self.total_messages, "bytes": self.total_bytes}
@@ -186,4 +199,7 @@ class NetworkStats:
             "items_replayed": self.items_replayed,
             "items_shed": self.items_shed,
             "acks_sent": self.acks_sent,
+            "worker_restarts": self.worker_restarts,
+            "peers_failed_over": self.peers_failed_over,
+            "epochs_stalled": self.epochs_stalled,
         }

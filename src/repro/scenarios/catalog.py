@@ -11,9 +11,24 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.net.faults import FaultModel
+from repro.net.supervisor import SupervisorConfig
 from repro.scenarios.chaos import ChaosScenario, ChurnSpec, ScenarioAction
 
 ScenarioFactory = Callable[[int], ChaosScenario]
+
+
+def _worker_shard_assigner(peer_id: str, shards: int) -> int | None:
+    """Pin the monitor to shard 0 and spread sources over the other shards.
+
+    Worker-fault scenarios need a topology where killing one worker takes
+    down *some* sources but never the monitor (whose shard holds the
+    subscription manager and the result delivery), for every seed alike.
+    """
+    if peer_id == "monitor":
+        return 0
+    if peer_id.startswith("s") and peer_id[1:].isdigit():
+        return 1 + int(peer_id[1:]) % (shards - 1)
+    return None
 
 
 def _partition_heal(seed: int) -> ChaosScenario:
@@ -174,6 +189,62 @@ def _lossy_control_plane(seed: int) -> ChaosScenario:
     )
 
 
+def _worker_crash(seed: int) -> ChaosScenario:
+    return ChaosScenario(
+        name="worker-crash",
+        seed=seed,
+        n_sources=4,
+        ticks=16,
+        runtime="sharded",
+        shards=3,
+        failure_mode="oracle",
+        shard_assigner=_worker_shard_assigner,
+        schedule=(ScenarioAction(8, "worker-kill", "@owner-of:s0"),),
+        invariants=(
+            "no-duplicates",
+            "survivor-exactly-once",
+            "recovers-within:1",
+            "worker-failover",
+        ),
+        description=(
+            "The worker process owning source s0 is SIGKILLed mid-run (a "
+            "real crash, no cleanup): the supervisor must classify the loss, "
+            "fail over every peer the shard owned within one tick, and keep "
+            "the survivors' alerts flowing exactly-once with no duplicate "
+            "ever -- and the run must terminate (no hang) with the failover "
+            "counters on record."
+        ),
+    )
+
+
+def _worker_hang(seed: int) -> ChaosScenario:
+    return ChaosScenario(
+        name="worker-hang",
+        seed=seed,
+        n_sources=4,
+        ticks=14,
+        runtime="sharded",
+        shards=3,
+        failure_mode="oracle",
+        shard_assigner=_worker_shard_assigner,
+        supervisor_config=SupervisorConfig(turn_timeout=2.0, poll_interval=0.02),
+        schedule=(ScenarioAction(7, "worker-hang", "@owner-of:s0"),),
+        invariants=(
+            "no-duplicates",
+            "survivor-exactly-once",
+            "recovers-within:1",
+            "worker-failover",
+        ),
+        description=(
+            "The worker owning source s0 wedges in an uninterruptible sleep: "
+            "only the supervisor's turn deadline can notice.  The straggler "
+            "must be killed and failed over like a crash -- the epoch "
+            "protocol may stall for at most the configured turn timeout, "
+            "never forever."
+        ),
+    )
+
+
 SCENARIOS: dict[str, ScenarioFactory] = {
     "partition-heal": _partition_heal,
     "churn-failover": _churn_failover,
@@ -182,6 +253,8 @@ SCENARIOS: dict[str, ScenarioFactory] = {
     "churn-soak": _churn_soak,
     "silent-kill": _silent_kill,
     "lossy-control-plane": _lossy_control_plane,
+    "worker-crash": _worker_crash,
+    "worker-hang": _worker_hang,
 }
 
 
@@ -221,11 +294,22 @@ def make_scenario(
             f"unknown scenario {name!r} (known: {', '.join(scenario_names())})"
         ) from exc
     scenario = factory(seed)
-    if failure_mode is not None:
+    if failure_mode is not None and scenario.runtime != "sharded":
         scenario.failure_mode = failure_mode
     if execution_mode is not None:
         scenario.execution_mode = execution_mode
-    if runtime is not None and runtime != "single":
+    if scenario.runtime == "sharded":
+        # inherently sharded (worker-fault) scenarios: the fault *is* a
+        # worker process, so there is no single-process variant to fall
+        # back to -- only the shard count can be overridden
+        if runtime == "single":
+            raise ValueError(
+                f"scenario {name!r} injects worker faults and only runs "
+                "sharded"
+            )
+        if shards:
+            scenario.shards = shards
+    elif runtime is not None and runtime != "single":
         if name not in SHARDABLE_SCENARIOS:
             raise ValueError(
                 f"scenario {name!r} cannot run sharded (peer churn or a "
