@@ -25,7 +25,9 @@ The PIPELINE experiment deploys real subscriptions (filter -> restructure
 plans over one alerter feed, reuse disabled so every subscription runs its
 own plan) and measures publish -> deliver throughput in both execution
 modes; the ``compile_speedup_*`` summary entries track the compiled-mode
-gain the plan compiler is gated on.
+gain the plan compiler is gated on.  The PIPELINE-JOIN experiment does the
+same over self-join plans, exercising stateful-consumer fusion (the fused
+filter pipeline pushing straight into the JOIN's probe closure).
 """
 
 from __future__ import annotations
@@ -56,6 +58,17 @@ PRE_PR_BASELINE = {
     "deliveries_per_sec_at_1k_subscribers_perfect": 22175.9,
     "deliveries_per_sec_at_1k_subscribers_faulty": 20410.9,
     "deliveries_per_sec_at_10k_subscribers_perfect": 16736.2,
+}
+
+#: PIPELINE-JOIN throughput measured immediately before stateful-consumer
+#: fusion landed (PR 9: compiled pipelines always emitted into the JOIN's
+#: input stream; same machine/workload, best-of-rounds).  Keyed by
+#: (subscribers, mode) so both modes carry their speedup-vs-pre-fusion.
+PRE_FUSION_JOIN_BASELINE = {
+    (300, "interpreted"): 23091.1,
+    (300, "compiled"): 28457.9,
+    (1000, "interpreted"): 20901.4,
+    (1000, "compiled"): 24194.1,
 }
 
 #: The fault model used by every "faults" row: mild loss and duplication,
@@ -350,6 +363,86 @@ def measure_pipeline(
     }
 
 
+def build_join_workload(
+    mode: str, n_subscribers: int, seed: int = 11
+) -> tuple[P2PMSystem, object, list[int]]:
+    """``n_subscribers`` self-join plans over one alerter feed.
+
+    Each subscription joins the chaos feed with itself on the item number
+    ($x.n = $y.n), so every emitted item probes a windowed JOIN whose build
+    side just stored it.  In compiled mode the filter pipeline feeding the
+    probe side fuses straight into the JOIN's probe closure (stateful-
+    consumer fusion); ``reuse=False`` keeps each subscription on its own
+    plan, as in the PIPELINE workload.
+    """
+    system = P2PMSystem(seed=seed, execution_mode=mode)
+    peer = system.add_peer("bench")
+    texts = [
+        f'for $x in {CHAOS_FUNCTION}(<p>bench</p>), '
+        f'$y in {CHAOS_FUNCTION}(<p>bench</p>) '
+        f'where $x.kind = "chaos" and $x.n >= {k % 10} and $x.n = $y.n '
+        "return <pair><n>{$x.n}</n><m>{$y.n}</m></pair>"
+        for k in range(n_subscribers)
+    ]
+    handles = peer.subscribe_many(
+        texts, sub_ids=[f"j{k}" for k in range(n_subscribers)], reuse=False
+    )
+    counters = [0] * n_subscribers
+
+    def make_sink(index: int):
+        def sink(item: object) -> None:
+            counters[index] += 1
+
+        return sink
+
+    for index, handle in enumerate(handles):
+        handle.on_result(make_sink(index))
+    system.run()
+    alerter = peer.alerter(CHAOS_FUNCTION)
+    return system, alerter, counters
+
+
+def measure_join(
+    mode: str, n_subscribers: int, n_items: int, rounds: int, seed: int = 11
+) -> dict:
+    """Best-of-``rounds`` publish+deliver timing through JOIN plans."""
+    system, alerter, counters = build_join_workload(mode, n_subscribers, seed)
+    best_elapsed = float("inf")
+    best_delivered = 0
+    next_n = 10  # past every threshold, so each item passes all filters
+    for _ in range(rounds):
+        before = sum(counters)
+        start = time.perf_counter()
+        for i in range(n_items):
+            alerter.emit_numbered(next_n + i)
+        system.run()
+        elapsed = time.perf_counter() - start
+        next_n += n_items
+        delivered = sum(counters) - before
+        if delivered / elapsed > (
+            best_delivered / best_elapsed if best_elapsed < float("inf") else 0.0
+        ):
+            best_elapsed = elapsed
+            best_delivered = delivered
+    row = {
+        "experiment": "PIPELINE-JOIN",
+        "subscribers": n_subscribers,
+        "mode": mode,
+        "items": n_items,
+        "best_seconds": round(best_elapsed, 6),
+        "items_per_sec": round(n_items / best_elapsed, 1),
+        "deliveries_per_sec": round(best_delivered / best_elapsed, 1),
+        "deliveries": best_delivered,
+    }
+    pre_fusion = PRE_FUSION_JOIN_BASELINE.get((n_subscribers, mode))
+    if pre_fusion:
+        row["pre_fusion_deliveries_per_sec"] = pre_fusion
+        row["speedup_vs_pre_fusion"] = round(
+            row["deliveries_per_sec"] / pre_fusion, 2
+        )
+    return row
+
+
 #: Worker-process count for every sharded SHARD row (kept constant across
 #: subscriber sizes so the 1k -> 10k scaling comparison is apples-to-apples).
 #: Sized so the fleet is deliberately *under*-utilised at 1k subscribers:
@@ -363,6 +456,7 @@ def run(quick: bool = False, only: str | None = None) -> dict:
     if quick:
         matrix = [(100, 100, 2), (1000, 25, 2)]
         pipeline_matrix = [(1000, 25, 2)]
+        join_matrix = [(300, 25, 2)]
         # same items-per-epoch as the full 1k row: the sharded rate is
         # sensitive to per-epoch amortisation, and the quick row gates
         # against the full baseline
@@ -370,6 +464,7 @@ def run(quick: bool = False, only: str | None = None) -> dict:
     else:
         matrix = [(100, 200, 3), (1000, 50, 3), (10000, 10, 1)]
         pipeline_matrix = [(1000, 50, 3), (10000, 10, 1)]
+        join_matrix = [(300, 50, 3), (1000, 10, 2)]
         shard_matrix = [(1000, 10, 3), (10000, 10, 2)]
     rows: list[dict] = []
     if only in (None, "e2e"):
@@ -380,6 +475,9 @@ def run(quick: bool = False, only: str | None = None) -> dict:
         for n_subscribers, n_items, rounds in pipeline_matrix:
             for mode in ("interpreted", "compiled"):
                 rows.append(measure_pipeline(mode, n_subscribers, n_items, rounds))
+        for n_subscribers, n_items, rounds in join_matrix:
+            for mode in ("interpreted", "compiled"):
+                rows.append(measure_join(mode, n_subscribers, n_items, rounds))
     if only in (None, "shard"):
         for n_subscribers, n_items, rounds in shard_matrix:
             for runtime, supervise in (
@@ -416,6 +514,17 @@ def run(quick: bool = False, only: str | None = None) -> dict:
         }
         if "interpreted" in by_mode and "compiled" in by_mode:
             summary[f"compile_speedup_{size // 1000}k"] = round(
+                by_mode["compiled"] / by_mode["interpreted"], 2
+            )
+    for size in (300, 1000):
+        by_mode = {
+            row["mode"]: row["deliveries_per_sec"]
+            for row in rows
+            if row.get("experiment") == "PIPELINE-JOIN"
+            and row["subscribers"] == size
+        }
+        if "interpreted" in by_mode and "compiled" in by_mode:
+            summary[f"join_compile_speedup_{size}"] = round(
                 by_mode["compiled"] / by_mode["interpreted"], 2
             )
     # the sharded runtime's reason to exist: deliveries/s must *rise* with
@@ -460,7 +569,9 @@ def _row_key(row: dict) -> tuple:
         return ("E2E", row["subscribers"], row["faults"])
     if row.get("experiment") == "SHARD":
         return ("SHARD", row["subscribers"], row["runtime"])
-    return ("PIPELINE", row["subscribers"], row["mode"])
+    # PIPELINE and PIPELINE-JOIN rows both match on (experiment,
+    # subscribers, mode) -- the experiment tag keeps them apart
+    return (row.get("experiment", "PIPELINE"), row["subscribers"], row["mode"])
 
 
 def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list[str]:
@@ -542,7 +653,7 @@ def main(argv: list[str] | None = None) -> int:
             prefix = "SHRD"
         else:
             label = f"{row['mode']:<11}"
-            prefix = "PIPE"
+            prefix = "JOIN" if row.get("experiment") == "PIPELINE-JOIN" else "PIPE"
         print(
             f"{prefix} {label} subs={row['subscribers']:>6}  "
             f"{row['items_per_sec']:>9.1f} items/s  "
@@ -554,6 +665,8 @@ def main(argv: list[str] | None = None) -> int:
     for key in (
         "compile_speedup_1k",
         "compile_speedup_10k",
+        "join_compile_speedup_300",
+        "join_compile_speedup_1000",
         "shard_scaling_single",
         "shard_scaling_sharded",
     ):

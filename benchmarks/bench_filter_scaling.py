@@ -7,9 +7,11 @@ the number of subscriptions.
 
 The E2-COMPILED rows measure the ``execution_mode="compiled"`` data path
 over the same workload: one fused predicate closure per compilable
-subscription (no complex tree-pattern queries -- those split to the
-interpreter, mirroring the PlanCompiler's fallback rule) sharing verdicts
-through the system-wide :class:`MaterializedTable`.
+subscription sharing verdicts through the system-wide
+:class:`MaterializedTable`.  The E2-TREE rows measure the tree-pattern
+fusion path (:func:`compile_tree_predicate`) over an all-complex workload
+-- the subscriptions the compiler used to split back to a per-subscription
+interpreted FilterProcessor before fusion covered them.
 """
 
 import pytest
@@ -18,8 +20,13 @@ from repro.algebra.expr import intern_signature
 from repro.compile import MISS, MaterializedTable
 from repro.filtering import FilterOperator, NaiveFilter
 from repro.filtering.conditions import compile_simple_predicate
+from repro.filtering.yfilter import compile_tree_predicate
 
-from benchmarks.conftest import make_alert_items, make_subscription_set
+from benchmarks.conftest import (
+    make_alert_items,
+    make_subscription_set,
+    make_tree_subscription_set,
+)
 
 SUBSCRIPTION_COUNTS = [10, 100, 1000, 3000]
 N_ITEMS = 150
@@ -42,6 +49,25 @@ def compiled_predicate_set(subscriptions):
         computed = ";".join(repr(c) for c in subscription.computed)
         signature = intern_signature(f"filter:{detail}|{computed}")
         compiled.append((signature, compile_simple_predicate(subscription)))
+    return compiled
+
+
+def tree_predicate_set(subscriptions):
+    """(interned signature, fused tree predicate) per subscription.
+
+    The compiled-mode data path for complex subscriptions: simple and
+    computed conditions inline, tree patterns through a private lazy-DFA.
+    The signature mirrors the compiler's (simple detail + complex
+    expressions), so identical subscriptions share one table entry.
+    """
+    compiled = []
+    for subscription in subscriptions:
+        detail = ";".join(
+            f"{c.attribute}{c.op}{c.value!r}" for c in subscription.simple
+        )
+        complex_part = ";".join(q.expression for q in subscription.complex_queries)
+        signature = intern_signature(f"filter:{detail}|{complex_part}")
+        compiled.append((signature, compile_tree_predicate(subscription)))
     return compiled
 
 
@@ -114,6 +140,46 @@ def test_compiled_predicate_throughput(benchmark, n_subscriptions):
     benchmark.extra_info["items"] = N_ITEMS
     benchmark.extra_info["matches"] = matches
     benchmark.extra_info["cse_hits"] = table.hits
+
+
+@pytest.mark.parametrize("n_subscriptions", SUBSCRIPTION_COUNTS)
+def test_tree_pattern_fused_throughput(benchmark, n_subscriptions):
+    items = make_alert_items(N_ITEMS, seed=1)
+    subscriptions = make_tree_subscription_set(n_subscriptions, seed=2)
+    compiled = tree_predicate_set(subscriptions)
+    table = MaterializedTable()
+
+    def run():
+        return run_compiled_predicates(items, compiled, table)
+
+    matches = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["experiment"] = "E2-TREE"
+    benchmark.extra_info["strategy"] = "tree-fused"
+    benchmark.extra_info["subscriptions"] = n_subscriptions
+    benchmark.extra_info["items"] = N_ITEMS
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["cse_hits"] = table.hits
+
+
+def test_tree_predicates_agree_with_extensional_oracle(benchmark):
+    """Every fused tree predicate gives the reference extensional verdict."""
+    items = make_alert_items(50, seed=3)
+    subscriptions = make_tree_subscription_set(200, seed=4)
+    compiled = [
+        (subscription, compile_tree_predicate(subscription))
+        for subscription in subscriptions
+    ]
+
+    def run():
+        agreements = 0
+        for item in items:
+            for subscription, predicate in compiled:
+                if predicate(item) == subscription.matches_extensionally(item):
+                    agreements += 1
+        return agreements
+
+    agreements = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert agreements == len(items) * len(compiled)
 
 
 def test_compiled_predicates_agree_with_naive(benchmark):

@@ -78,6 +78,46 @@ def make_subscription_set(
     return subscriptions
 
 
+#: Tree patterns of the E2-TREE workload: every subscription carries at
+#: least one, so the whole set exercises the tree-pattern fusion path.
+TREE_PATHS = [
+    "//Body",
+    "//Envelope/Body",
+    "//param",
+    "//error",
+    "//Body//param",
+    "//Envelope//param",
+    "/Envelope/Body/param",
+]
+
+
+def make_tree_subscription_set(
+    n_subscriptions: int, seed: int = 0
+) -> list[FilterSubscription]:
+    """All-complex subscriptions: 1-2 simple conditions plus 1-2 tree patterns.
+
+    Unlike :func:`make_subscription_set` (where half the subscriptions are
+    simple-only), every subscription here carries complex queries -- the
+    workload the plan compiler used to split back to the interpreter
+    wholesale, and the one the tree-pattern fusion rows measure.
+    """
+    rng = random.Random(seed)
+    methods = ["GetTemperature", "GetHumidity", "GetForecast", "Invoice"]
+    callees = ["meteo.com", "tele.com"]
+    subscriptions = []
+    for index in range(n_subscriptions):
+        simple = [SimpleCondition("callMethod", "=", rng.choice(methods))]
+        if rng.random() < 0.5:
+            simple.append(SimpleCondition("callee", "=", rng.choice(callees)))
+        complex_queries = [XPath.compile(rng.choice(TREE_PATHS))]
+        if rng.random() < 0.3:
+            complex_queries.append(XPath.compile(rng.choice(TREE_PATHS)))
+        subscriptions.append(
+            FilterSubscription(f"t{index}", simple, complex_queries)
+        )
+    return subscriptions
+
+
 @pytest.fixture(scope="module")
 def alert_items() -> list[Element]:
     return make_alert_items(300, seed=42)

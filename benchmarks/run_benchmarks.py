@@ -56,7 +56,9 @@ from benchmarks.conftest import make_alert_items, make_subscription_set  # noqa:
 from benchmarks.bench_filter_scaling import (  # noqa: E402
     compiled_predicate_set,
     run_compiled_predicates,
+    tree_predicate_set,
 )
+from benchmarks.conftest import make_tree_subscription_set  # noqa: E402
 from benchmarks.bench_yfilter import make_path_queries  # noqa: E402
 from repro.compile import MaterializedTable  # noqa: E402
 from repro.filtering import FilterOperator, NaiveFilter, YFilterSigma  # noqa: E402
@@ -69,6 +71,12 @@ SEED_BASELINE = {
     "filter_items_per_sec_at_10k_subscriptions": 650.4,
     "yfilter_items_per_sec_at_10k_queries": 4514.7,
 }
+
+#: E2-TREE throughput measured immediately before tree-pattern fusion landed
+#: (PR 9 compiled mode split every complex-query FILTER back to one
+#: interpreted per-subscription FilterProcessor; same machine, 150 alert
+#: items, best-of-rounds).  The fused rows carry their speedup vs these.
+TREE_PRE_FUSION_BASELINE = {100: 3836.9, 1000: 385.0, 10000: 29.8}
 
 
 def _rate(count: int, seconds: float) -> float:
@@ -166,6 +174,49 @@ def bench_compiled_filter(
                 "cse_hit_rate": round(_hit_rate(table.hits, table.misses), 4),
             }
         )
+    return results
+
+
+def bench_tree_filter(
+    subscription_counts: list[int], n_items: int, rounds: int
+) -> list[dict]:
+    """E2-TREE: fused tree-pattern predicates over an all-complex workload.
+
+    Every subscription carries tree-pattern queries, so before this fusion
+    existed the whole set ran on interpreted per-subscription
+    FilterProcessors -- the :data:`TREE_PRE_FUSION_BASELINE` numbers.
+    """
+    results = []
+    items = make_alert_items(n_items, seed=1)
+    for n_subscriptions in subscription_counts:
+        subscriptions = make_tree_subscription_set(n_subscriptions, seed=2)
+        build_start = time.perf_counter()
+        compiled = tree_predicate_set(subscriptions)
+        build_seconds = time.perf_counter() - build_start
+        table = MaterializedTable()
+        run_compiled_predicates(items, compiled, table)  # warm the lazy DFAs
+        table.hits = table.misses = 0
+        best = float("inf")
+        matches = 0
+        for _ in range(rounds):
+            start = time.perf_counter()
+            matches = run_compiled_predicates(items, compiled, table)
+            best = min(best, time.perf_counter() - start)
+        row = {
+            "experiment": "E2-TREE",
+            "subscriptions": n_subscriptions,
+            "items": n_items,
+            "build_seconds": round(build_seconds, 6),
+            "best_seconds": round(best, 6),
+            "items_per_sec": round(_rate(n_items, best), 1),
+            "matches": matches,
+            "cse_hit_rate": round(_hit_rate(table.hits, table.misses), 4),
+        }
+        pre_fusion = TREE_PRE_FUSION_BASELINE.get(n_subscriptions)
+        if pre_fusion:
+            row["pre_fusion_items_per_sec"] = pre_fusion
+            row["speedup_vs_pre_fusion"] = round(row["items_per_sec"] / pre_fusion, 2)
+        results.append(row)
     return results
 
 
@@ -270,6 +321,7 @@ def run(quick: bool = False) -> dict:
         },
         "filter_scaling": bench_filter_scaling(subscription_counts, n_items, rounds),
         "compiled_filter": bench_compiled_filter(subscription_counts, n_items, rounds),
+        "tree_filter": bench_tree_filter(subscription_counts, n_items, rounds),
         "yfilter": bench_yfilter(query_counts, n_items, rounds),
         "naive_reference": bench_naive_reference(naive_subs, naive_items),
     }
@@ -309,6 +361,7 @@ def compare_to_baseline(summary: dict, baseline: dict, tolerance: float) -> list
     for list_name, size_key in (
         ("filter_scaling", "subscriptions"),
         ("compiled_filter", "subscriptions"),
+        ("tree_filter", "subscriptions"),
         ("yfilter", "queries"),
     ):
         baseline_rows = {
@@ -419,6 +472,14 @@ def main(argv: list[str] | None = None) -> int:
             f"E2 compiled subs={row['subscriptions']:>6}  "
             f"{row['items_per_sec']:>9.1f} items/s  "
             f"cse {row['cse_hit_rate']:.0%}"
+        )
+    for row in summary["tree_filter"]:
+        speedup = row.get("speedup_vs_pre_fusion")
+        suffix = f"  {speedup:.1f}x pre-fusion" if speedup else ""
+        print(
+            f"E2 tree    subs={row['subscriptions']:>6}  "
+            f"{row['items_per_sec']:>9.1f} items/s  "
+            f"cse {row['cse_hit_rate']:.0%}{suffix}"
         )
     for row in summary["yfilter"]:
         print(

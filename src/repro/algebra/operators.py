@@ -115,6 +115,31 @@ class Operator:
     def on_close(self) -> None:
         """Called when every input reached EOS, before the output is closed."""
 
+    # -- compiled consumer fusion ------------------------------------------------
+
+    def compiled_probe(
+        self, index: int
+    ) -> tuple[Callable[[Element], None], Callable[[list[Element]], None]]:
+        """``(probe, probe_batch)`` closures for a fused upstream pipeline.
+
+        A :class:`~repro.compile.pipeline.CompiledPipeline` whose tail feeds
+        this operator's input ``index`` pushes items straight into these
+        closures, skipping the boundary stream hop.  Semantics are exactly
+        :meth:`_receive` / :meth:`_receive_batch` minus the EOS branch --
+        EOS always travels the stream, so close cascades are untouched.
+        Stateful subclasses override this to bind their window/cadence state
+        into the closure (no per-item attribute walks on the hot path).
+        """
+
+        def probe(item: Element, _i: int = index) -> None:
+            self.items_in += 1
+            self.on_item(_i, item)
+
+        def probe_batch(items: list[Element], _i: int = index) -> None:
+            self.on_batch(_i, items)
+
+        return probe, probe_batch
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(in={self.items_in}, out={self.items_out}, "
@@ -175,6 +200,20 @@ class RestructureOperator(Operator):
     def on_item(self, index: int, item: Element) -> None:
         binding = get_binding(item, self.default_var)
         self.emit(self.template.instantiate(binding))
+
+    def on_batch(self, index: int, items: list[Element]) -> None:
+        """Instantiate a burst in one go and forward the results as one batch.
+
+        Keeps interpreted mode batch-for-batch identical to the compiled
+        vectorized stage (which evaluates restructures per batch), so both
+        modes hand downstream subscribers the same emit granularity.
+        """
+        self.items_in += len(items)
+        template = self.template
+        var = self.default_var
+        self.emit_batch(
+            [template.instantiate(get_binding(item, var)) for item in items]
+        )
 
 
 class UnionOperator(Operator):
@@ -253,6 +292,41 @@ class JoinOperator(Operator):
             binding: Binding = get_binding(left_item, self.left_var)
             binding.update(get_binding(right_item, self.right_var))
             self.emit(make_tuple_item(binding))
+
+    def compiled_probe(
+        self, index: int
+    ) -> tuple[Callable[[Element], None], Callable[[list[Element]], None]]:
+        """Probe-side fusion: the :meth:`on_item` body with the history
+        index, key extractor and emit bound into the closure.  The build
+        side (and any cross-peer input) stays on the interpreted path."""
+        if index not in (0, 1):
+            raise ValueError("JoinOperator has exactly two inputs")
+        is_left = index == 0
+        key_of = self._key
+        store = self._store
+        other_index = self._index[1 - index]
+        left_var = self.left_var
+        right_var = self.right_var
+        emit = self.emit
+
+        def probe(item: Element) -> None:
+            self.items_in += 1
+            key = key_of(index, item)
+            if key is None:
+                return
+            store(index, key, item)
+            self.index_probes += 1
+            for match in other_index.get(key, ()):
+                left_item, right_item = (item, match) if is_left else (match, item)
+                binding: Binding = get_binding(left_item, left_var)
+                binding.update(get_binding(right_item, right_var))
+                emit(make_tuple_item(binding))
+
+        def probe_batch(items: list[Element]) -> None:
+            for item in items:
+                probe(item)
+
+        return probe, probe_batch
 
     def _store(self, side: int, key: tuple, item: Element) -> None:
         self._index[side].setdefault(key, []).append(item)
@@ -337,6 +411,31 @@ class GroupOperator(Operator):
         self.counts[key] = self.counts.get(key, 0) + 1
         if self._every is not None and self.items_in % self._every == 0:
             self.emit(self.snapshot())
+
+    def compiled_probe(
+        self, index: int
+    ) -> tuple[Callable[[Element], None], Callable[[list[Element]], None]]:
+        """Cadence-side fusion: counts dict and ``every`` bound into the
+        closure.  The batch probe loops per item because the emit cadence
+        reads ``items_in`` mid-batch."""
+        key_of = self._key_of
+        counts = self.counts
+        every = self._every
+
+        def probe(item: Element) -> None:
+            self.items_in += 1
+            key = key_of(item)
+            if key is None:
+                key = "(none)"
+            counts[key] = counts.get(key, 0) + 1
+            if every is not None and self.items_in % every == 0:
+                self.emit(self.snapshot())
+
+        def probe_batch(items: list[Element]) -> None:
+            for item in items:
+                probe(item)
+
+        return probe, probe_batch
 
     def on_close(self) -> None:
         if self.counts:

@@ -1,11 +1,14 @@
 """Plan compilation: fused pipeline closures with cross-plan CSE.
 
-Opt-in via ``P2PMSystem(execution_mode="compiled")``.  The compiler partitions
-each deployed plan into maximal linear segments of co-located fusable
-operators, fuses every segment into a single call frame per item
-(:class:`CompiledPipeline`), and memoises identical sub-expressions across all
-co-deployed subscriptions through one system-wide :class:`MaterializedTable`.
-Everything uncompilable falls back, per operator, to the interpreted chain --
+The default execution mode (pin ``P2PMSystem(execution_mode="interpreted")``
+for the reference engine).  The compiler partitions each deployed plan into
+maximal linear segments of co-located fusable operators -- simple and
+tree-pattern filters alike -- fuses every segment into a single call frame
+per item (:class:`CompiledPipeline`, with a batched ``apply_many`` entry
+point per stage), memoises identical sub-expressions across all co-deployed
+subscriptions through one system-wide :class:`MaterializedTable`, and fuses
+pipeline tails into co-located JOIN/GROUP probe closures.  Everything
+uncompilable falls back, per operator, to the interpreted chain --
 differential tests pin the two modes byte-identical on the network.
 """
 

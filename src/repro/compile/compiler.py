@@ -1,17 +1,23 @@
 """Produce/consume plan compiler: fused stages, fallback rules, CSE.
 
 :class:`PlanCompiler` walks a placed plan tree and partitions it into maximal
-*linear segments* of co-located fusable nodes (today: simple FILTER and
-RESTRUCTURE).  Each segment compiles to a tuple of :class:`CompiledStage`
-closures that a :class:`~repro.compile.pipeline.CompiledPipeline` executes in
-a single call frame per item -- no intermediate ``Stream.emit`` hops, no
-per-operator virtual dispatch.
+*linear segments* of co-located fusable nodes: FILTER (simple *and*
+tree-pattern) and RESTRUCTURE.  Each segment compiles to a tuple of
+:class:`CompiledStage` closures that a
+:class:`~repro.compile.pipeline.CompiledPipeline` executes in a single call
+frame per item -- no intermediate ``Stream.emit`` hops, no per-operator
+virtual dispatch.  Every stage also carries an ``apply_many`` entry point
+evaluating the fused computation over a whole batch with one materialized-
+table probe per batch (alerter bursts and channel deliveries arrive as
+batches).
 
 Every node kind that is not fusable carries an explicit fallback reason
 (Kontra-style rule set): stateful operators keep their window/cadence/history
-machinery on the interpreted path, multi-input merges need the stream-level
-EOS accounting, and segment chains split at remote boundaries so network
-behaviour stays byte-identical to interpreted mode.
+machinery on the interpreted path (though co-located JOIN/GROUP *probe* sides
+are fused by the deployer, see ``CompiledPipeline.fuse_consumer``),
+multi-input merges need the stream-level EOS accounting, and segment chains
+split at remote boundaries so network behaviour stays byte-identical to
+interpreted mode.
 """
 
 from __future__ import annotations
@@ -30,8 +36,11 @@ from repro.algebra.plan import (
     UNION,
     PlanNode,
 )
+from repro.algebra.expr import intern_signature
 from repro.algebra.template import get_binding
 from repro.filtering.conditions import compile_simple_predicate
+from repro.filtering.yfilter import compile_tree_predicate
+from repro.xmlmodel.axml import ServiceRegistry
 
 from .cache import CompiledPlanCache
 from .signatures import stage_signature
@@ -58,20 +67,31 @@ _SOURCE_KINDS = (ALERTER, EXISTING)
 
 
 class CompiledStage:
-    """One fused stage: ``apply(item) -> item | None`` in a single call frame."""
+    """One fused stage: ``apply(item) -> item | None`` in a single call frame.
 
-    __slots__ = ("kind", "signature", "apply", "table")
+    ``apply_many(batch) -> batch`` is the vectorized entry: the same fused
+    computation over a whole batch, memoised per *batch-list identity* so a
+    thousand co-deployed twins of this stage probe the materialized table
+    once per batch instead of once per item.  Sound because
+    ``Stream.emit_many`` hands every batch subscriber the same list object
+    and emitters never mutate a batch after handing it over (the same
+    convention that makes per-item identity memoisation sound).
+    """
+
+    __slots__ = ("kind", "signature", "apply", "apply_many", "table")
 
     def __init__(
         self,
         kind: str,
         signature: str,
         apply: Callable[[Any], Any],
+        apply_many: Callable[[Any], list],
         table: MaterializedTable,
     ) -> None:
         self.kind = kind
         self.signature = signature
         self.apply = apply
+        self.apply_many = apply_many
         self.table = table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -86,10 +106,16 @@ class PlanCompiler:
         table: MaterializedTable,
         cache: CompiledPlanCache,
         stats: CompileStats,
+        registry_for: Callable[[str], ServiceRegistry | None] | None = None,
     ) -> None:
         self.table = table
         self.cache = cache
         self.stats = stats
+        #: ``peer_id -> ServiceRegistry`` resolver for tree-pattern stages.
+        #: Resolved lazily *per item*, never captured at compile time:
+        #: compiled programs outlive peer objects in the plan cache, and a
+        #: departed-then-rejoined peer carries a fresh registry.
+        self.registry_for = registry_for
 
     # -- fallback rules ------------------------------------------------------
 
@@ -98,13 +124,8 @@ class PlanCompiler:
         if node.kind in FUSABLE_KINDS and len(node.children) != 1:
             return "non-unary-input"
         if node.kind == FILTER:
-            subscription = node.params.get("subscription")
-            if subscription is None:
+            if node.params.get("subscription") is None:
                 return "missing-subscription"
-            if subscription.complex_queries:
-                # tree-pattern queries need the filter's extensional
-                # materialized view; fusing them would change laziness
-                return "complex-query-materialization"
             return None
         if node.kind == RESTRUCTURE:
             if node.params.get("template") is None:
@@ -168,7 +189,10 @@ class PlanCompiler:
         key = (signatures, epoch)
         program = self.cache.get(key)
         if program is None:
-            program = tuple(self._stage_for(node) for node in chain)
+            program = tuple(
+                self._stage_for(node, signature)
+                for node, signature in zip(chain, signatures)
+            )
             self.cache.put(key, program)
         # pin the stages on the nodes so a later deployment of the *same*
         # node objects (and only those) can skip the per-node rebuild; equal
@@ -178,23 +202,47 @@ class PlanCompiler:
             node._stage = stage
         return program
 
-    def _stage_for(self, node: PlanNode) -> CompiledStage:
+    def _stage_for(self, node: PlanNode, signature: str) -> CompiledStage:
         stage = node._stage
-        if isinstance(stage, CompiledStage) and stage.table is self.table:
+        if (
+            isinstance(stage, CompiledStage)
+            and stage.table is self.table
+            # a node re-placed on another peer changes a tree-pattern stage's
+            # signature (peer-qualified): the pinned stage is then stale
+            and stage.signature == signature
+        ):
             return stage
-        return self._build_stage(node)
+        return self._build_stage(node, signature)
 
-    def _build_stage(self, node: PlanNode) -> CompiledStage:
-        signature = stage_signature(node)
+    def _build_stage(self, node: PlanNode, signature: str) -> CompiledStage:
         table = self.table
+        #: batch results memoise under a distinct interned key so a batch
+        #: entry never evicts the per-item entry twin stages still probe
+        many_signature = intern_signature("many:" + signature)
         if node.kind == FILTER:
             subscription = node.params["subscription"]
-            predicate = compile_simple_predicate(subscription)
-            # memoise only when the verdict is worth sharing: computed
-            # conditions re-parse attribute numbers and >=3 conditions mean
-            # several closure calls, while 1-2 plain comparisons are cheaper
-            # than the table probe itself
-            if subscription.computed or len(subscription.simple) >= 3:
+            if subscription.complex_queries:
+                registry_for = self.registry_for
+                if registry_for is None:
+                    predicate = compile_tree_predicate(subscription)
+                else:
+                    placement = node.placement
+
+                    def resolve() -> ServiceRegistry | None:
+                        return registry_for(placement)
+
+                    predicate = compile_tree_predicate(subscription, resolve)
+                # a lazy-DFA walk always dwarfs the table probe: memoise
+                # unconditionally so signature-twins share one verdict
+                memoise = True
+            else:
+                predicate = compile_simple_predicate(subscription)
+                # memoise only when the verdict is worth sharing: computed
+                # conditions re-parse attribute numbers and >=3 conditions
+                # mean several closure calls, while 1-2 plain comparisons are
+                # cheaper than the table probe itself
+                memoise = bool(subscription.computed) or len(subscription.simple) >= 3
+            if memoise:
 
                 def apply(item: Any) -> Any:
                     verdict = table.get(signature, item)
@@ -202,12 +250,28 @@ class PlanCompiler:
                         verdict = table.put(signature, item, predicate(item))
                     return item if verdict else None
 
+                def apply_many(batch: Any) -> list:
+                    survivors = table.get(many_signature, batch)
+                    if survivors is MISS:
+                        survivors = []
+                        for item in batch:
+                            verdict = table.get(signature, item)
+                            if verdict is MISS:
+                                verdict = table.put(signature, item, predicate(item))
+                            if verdict:
+                                survivors.append(item)
+                        table.put(many_signature, batch, survivors)
+                    return survivors
+
             else:
 
                 def apply(item: Any) -> Any:
                     return item if predicate(item) else None
 
-            return CompiledStage(FILTER, signature, apply, table)
+                def apply_many(batch: Any) -> list:
+                    return [item for item in batch if predicate(item)]
+
+            return CompiledStage(FILTER, signature, apply, apply_many, table)
         if node.kind == RESTRUCTURE:
             template = node.params["template"]
             var = node.params.get("var")
@@ -223,5 +287,19 @@ class PlanCompiler:
                     out = table.put(signature, item, instantiate(get_binding(item, var)))
                 return out
 
-            return CompiledStage(RESTRUCTURE, signature, apply, table)
+            def apply_many(batch: Any) -> list:
+                results = table.get(many_signature, batch)
+                if results is MISS:
+                    results = []
+                    for item in batch:
+                        out = table.get(signature, item)
+                        if out is MISS:
+                            out = table.put(
+                                signature, item, instantiate(get_binding(item, var))
+                            )
+                        results.append(out)
+                    table.put(many_signature, batch, results)
+                return results
+
+            return CompiledStage(RESTRUCTURE, signature, apply, apply_many, table)
         raise ValueError(f"cannot build a compiled stage for kind {node.kind!r}")

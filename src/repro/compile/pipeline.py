@@ -6,7 +6,11 @@ snapshot.  Per item the pipeline runs stage after stage inline (one call
 frame, no ``Stream.emit`` between co-located stages) and only writes a
 boundary through when something outside the pipeline actually consumes it:
 
-* the tail boundary always emits (the parent operator / publisher consumes it);
+* the tail boundary emits to its stream (the parent operator / publisher
+  consumes it) -- unless the deployer fused a co-located stateful consumer
+  onto the tail, in which case items are pushed straight into the consumer's
+  compiled probe closure and the stream hop is skipped while nothing else
+  watches the boundary;
 * an intermediate boundary emits when its channel has remote subscribers or
   its stream gained subscribers beyond the pipeline's own continuation
   (stream reuse, replicas, test taps) -- the continuation then carries on, so
@@ -25,7 +29,6 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.algebra.plan import FILTER
 from repro.streams.item import is_eos
 from repro.streams.stream import Stream
 
@@ -68,10 +71,16 @@ class CompiledPipeline:
         "items_in",
         "items_out",
         "_entries",
+        "_consumer",
+        "stats",
     )
 
     def __init__(
-        self, stages: tuple[CompiledStage, ...], sub_id: str, peer_id: str
+        self,
+        stages: tuple[CompiledStage, ...],
+        sub_id: str,
+        peer_id: str,
+        stats: Any = None,
     ) -> None:
         self.stages = stages
         self.boundaries: list[_Boundary] = []
@@ -81,6 +90,9 @@ class CompiledPipeline:
         self.items_out = 0
         #: per-stage unsubscribers for the entry callbacks; None once detached
         self._entries: list[Callable[[], None] | None] = [None] * len(stages)
+        #: fused tail consumer: (operator, probe, probe_batch) or None
+        self._consumer: tuple[Any, Callable[[Any], None], Callable[[Any], None]] | None = None
+        self.stats = stats
 
     # -- wiring (called by the deployer, in deployment order) ---------------
 
@@ -89,6 +101,29 @@ class CompiledPipeline:
 
     def seal_boundary(self, index: int, watches: tuple[tuple[Stream, int], ...]) -> None:
         self.boundaries[index].watches = watches
+
+    def fuse_consumer(
+        self,
+        operator: Any,
+        probe: Callable[[Any], None],
+        probe_batch: Callable[[Any], None],
+        watches: tuple[tuple[Stream, int], ...],
+    ) -> None:
+        """Fuse a co-located stateful consumer onto the tail boundary.
+
+        ``watches`` must be snapshotted *after* the operator subscribed to
+        the tail stream: the operator's own subscription is then inside the
+        baseline and :meth:`_Boundary.is_live` fires only for consumers that
+        attach later (test taps, reuse providers, channel subscribers).
+        While the boundary stays dark, tail items skip the stream hop and
+        run the probe directly; the moment it lights up -- or the operator
+        detaches -- items go through the stream again and the operator
+        receives them via its ordinary subscription, so processing is
+        single-path in every state.  EOS always travels the stream (the
+        probe never sees it), preserving the interpreted close cascade.
+        """
+        self.boundaries[-1].watches = watches
+        self._consumer = (operator, probe, probe_batch)
 
     def make_entry(self, index: int) -> Callable[[Any], None]:
         """Deliver callback consuming stage ``index``'s input stream.
@@ -135,15 +170,28 @@ class CompiledPipeline:
     def _run_from(self, i: int, item: Any) -> None:
         stages = self.stages
         boundaries = self.boundaries
+        stats = self.stats
         last = len(stages) - 1
         while True:
+            if stats is not None:
+                stats.item_invocations += 1
             out = stages[i].apply(item)
             if out is None:
                 return
             boundary = boundaries[i]
             if i == last:
                 self.items_out += 1
-                boundary.stream.emit(out)
+                consumer = self._consumer
+                if (
+                    consumer is not None
+                    and not consumer[0].detached
+                    and not boundary.is_live()
+                ):
+                    # fused stateful consumer, dark boundary: push straight
+                    # into the probe, skipping the stream hop
+                    consumer[1](out)
+                else:
+                    boundary.stream.emit(out)
                 return
             if self._entries[i + 1] is None or boundary.is_live():
                 # write through: either an external consumer is attached (our
@@ -160,29 +208,33 @@ class CompiledPipeline:
     def _run_batch_from(self, i: int, items: Any) -> None:
         stages = self.stages
         boundaries = self.boundaries
+        stats = self.stats
         last = len(stages) - 1
         batch = items
         while True:
             stage = stages[i]
-            if stage.kind != FILTER:
-                # interpreted RestructureOperator has no batch override: a
-                # batch degrades to per-item emits downstream, so mirror that
-                for item in batch:
-                    self._run_from(i, item)
-                return
-            apply = stage.apply
-            survivors = [item for item in batch if apply(item) is not None]
-            if not survivors:
+            if stats is not None:
+                stats.batch_invocations += 1
+                stats.batch_items += len(batch)
+            batch = stage.apply_many(batch)
+            if not batch:
                 return
             boundary = boundaries[i]
             if i == last:
-                self.items_out += len(survivors)
-                boundary.stream.emit_many(survivors)
+                self.items_out += len(batch)
+                consumer = self._consumer
+                if (
+                    consumer is not None
+                    and not consumer[0].detached
+                    and not boundary.is_live()
+                ):
+                    consumer[2](batch)
+                else:
+                    boundary.stream.emit_many(batch)
                 return
             if self._entries[i + 1] is None or boundary.is_live():
-                boundary.stream.emit_many(survivors)
+                boundary.stream.emit_many(batch)
                 return
-            batch = survivors
             i += 1
 
     # -- observability -------------------------------------------------------
@@ -195,6 +247,9 @@ class CompiledPipeline:
             "items_in": self.items_in,
             "items_out": self.items_out,
             "detached": self.detached,
+            "consumer_fused": (
+                self._consumer[0].name if self._consumer is not None else None
+            ),
         }
 
     def __repr__(self) -> str:

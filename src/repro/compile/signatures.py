@@ -27,6 +27,13 @@ def stage_signature(node: PlanNode) -> str:
     """
     detail = signature_detail(node)
     if node.kind == FILTER:
+        subscription = node.params.get("subscription")
+        if subscription is not None and subscription.complex_queries:
+            # tree-pattern verdicts can depend on the peer's ServiceRegistry
+            # (intensional content is materialised through it), so complex
+            # filters are peer-qualified: equal tree predicates on different
+            # peers must not share one memo slot or one compiled program
+            return intern_signature(f"filter:{detail}@{node.placement}")
         return intern_signature(f"filter:{detail}")
     if node.kind == RESTRUCTURE:
         var = node.params.get("var") or "item"

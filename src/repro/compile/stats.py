@@ -6,7 +6,17 @@ from __future__ import annotations
 class CompileStats:
     """Cumulative compiler observability, surfaced via ``handle.stats()``."""
 
-    __slots__ = ("segments_fused", "stages_fused", "fallbacks", "remote_splits", "ticks")
+    __slots__ = (
+        "segments_fused",
+        "stages_fused",
+        "fallbacks",
+        "remote_splits",
+        "ticks",
+        "consumers_fused",
+        "item_invocations",
+        "batch_invocations",
+        "batch_items",
+    )
 
     def __init__(self) -> None:
         self.segments_fused = 0
@@ -15,6 +25,13 @@ class CompileStats:
         self.fallbacks: dict[str, dict[str, int]] = {}
         self.remote_splits = 0
         self.ticks = 0
+        #: operator kind -> count of probe-side consumer fusions (JOIN/GROUP)
+        self.consumers_fused: dict[str, int] = {}
+        # stage-invocation split: how much of the fused work ran through the
+        # vectorized ``apply_many`` path vs the per-item ``apply`` path
+        self.item_invocations = 0
+        self.batch_invocations = 0
+        self.batch_items = 0
 
     def record_segment(self, length: int) -> None:
         self.segments_fused += 1
@@ -30,13 +47,26 @@ class CompileStats:
     def record_tick(self) -> None:
         self.ticks += 1
 
+    def record_consumer_fused(self, kind: str) -> None:
+        self.consumers_fused[kind] = self.consumers_fused.get(kind, 0) + 1
+
     def snapshot(self) -> dict:
         return {
             "segments_fused": self.segments_fused,
             "stages_fused": self.stages_fused,
+            # reasons are sorted alongside kinds so snapshots (and the
+            # reports/tests built on them) are deterministic across runs
+            # regardless of first-recorded order
             "fallbacks": {
-                kind: dict(reasons) for kind, reasons in sorted(self.fallbacks.items())
+                kind: dict(sorted(reasons.items()))
+                for kind, reasons in sorted(self.fallbacks.items())
             },
             "remote_splits": self.remote_splits,
             "ticks": self.ticks,
+            "consumers_fused": dict(sorted(self.consumers_fused.items())),
+            "stage_invocations": {
+                "item": self.item_invocations,
+                "batch": self.batch_invocations,
+                "batch_items": self.batch_items,
+            },
         }

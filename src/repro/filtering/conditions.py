@@ -251,8 +251,8 @@ def compile_simple_predicate(subscription: FilterSubscription):
     compile time so the hot path is a single call frame with no virtual hops.
 
     Raises :class:`ValueError` for complex subscriptions — tree-pattern
-    queries need the filter's materialized extensional view and must stay on
-    the interpreted path.
+    queries fuse through :func:`repro.filtering.yfilter.compile_tree_predicate`
+    instead.
     """
     if subscription.complex_queries:
         raise ValueError(

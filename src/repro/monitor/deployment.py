@@ -198,6 +198,10 @@ class Deployer:
         #: fusable segments of the plan being deployed, keyed by id(tail
         #: node); populated per deploy() when the system runs compiled
         self._segments: dict[int, list[PlanNode]] = {}
+        #: pipelines instantiated during the current deploy(), keyed by
+        #: id(tail node) -- how _deploy_operator finds the fused producer of
+        #: a stateful consumer's input for probe-side fusion
+        self._segment_pipelines: dict[int, CompiledPipeline] = {}
 
     # -- public API -------------------------------------------------------------------
 
@@ -237,6 +241,7 @@ class Deployer:
         self._predecessor = predecessor
         compiler = self.system.compiler
         self._segments = compiler.plan_segments(plan) if compiler is not None else {}
+        self._segment_pipelines = {}
         holder = f"sub:{sub_id}"
         if plan.kind == PUBLISH:
             handle = self._deploy_node(plan.children[0], task)
@@ -394,6 +399,8 @@ class Deployer:
         operator = self._make_operator(node, peer, output)
         for stream in input_streams:
             operator.connect(stream)
+        if node.kind in (JOIN, GROUP):
+            self._fuse_stateful_consumer(node, operator, child_handles, input_streams)
         peer.operators.append(operator)
         created_channel = peer.ensure_channel(stream_id, output)
         self._link_predecessor(node, task, peer.peer_id, stream_id, output)
@@ -418,6 +425,38 @@ class Deployer:
             )
         return _StreamHandle(peer.peer_id, output, stream_id)
 
+    def _fuse_stateful_consumer(
+        self,
+        node: PlanNode,
+        operator: Operator,
+        child_handles: list[_StreamHandle],
+        input_streams: list[Stream],
+    ) -> None:
+        """Fuse compiled-pipeline outputs into a JOIN/GROUP's probe side.
+
+        Must run *after* ``operator.connect``: the liveness baseline handed
+        to :meth:`CompiledPipeline.fuse_consumer` then counts the operator's
+        own subscription, so only later-attached externals (taps, reuse
+        consumers) light the boundary up and re-route items through the
+        stream.  Fusion applies only when the input *is* the pipeline's tail
+        stream itself -- with reliable channels, or across peers, the input
+        is a proxy and the interpreted channel machinery must stay in the
+        path (Kontra-style per-edge fallback).
+        """
+        compiler = self.system.compiler
+        if compiler is None:
+            return
+        for index, (child, handle) in enumerate(zip(node.children, child_handles)):
+            pipeline = self._segment_pipelines.get(id(child))
+            if pipeline is None or handle.stream is not input_streams[index]:
+                continue
+            probe, probe_batch = operator.compiled_probe(index)
+            stream = input_streams[index]
+            pipeline.fuse_consumer(
+                operator, probe, probe_batch, ((stream, stream.subscriber_count),)
+            )
+            compiler.stats.record_consumer_fused(node.kind)
+
     def _deploy_segment(
         self, tail: PlanNode, chain: list[PlanNode], task: DeployedTask
     ) -> _StreamHandle:
@@ -435,8 +474,11 @@ class Deployer:
         compiler = self.system.compiler
         assert compiler is not None
         program = compiler.compile_segment(chain, self._epoch)
-        pipeline = CompiledPipeline(program, sub_id=task.sub_id, peer_id=peer.peer_id)
+        pipeline = CompiledPipeline(
+            program, sub_id=task.sub_id, peer_id=peer.peer_id, stats=compiler.stats
+        )
         peer.operators.append(pipeline)
+        self._segment_pipelines[id(tail)] = pipeline
         ledger = self.system.resources
         prev_handle = self._deploy_node(chain[0].children[0], task)
         for index, node in enumerate(chain):

@@ -72,7 +72,7 @@ class P2PMSystem:
         reliable_channels: bool | None = None,
         detector_config: DetectorConfig | None = None,
         rpc_policy: RetryPolicy | None = None,
-        execution_mode: str = "interpreted",
+        execution_mode: str = "compiled",
         runtime: str = "single",
         shards: int = 0,
         shard_assigner=None,
@@ -155,15 +155,20 @@ class P2PMSystem:
         #: detects orphaned resources after a peer failure and redeploys the
         #: affected subscriptions on surviving peers
         self.recovery = RecoveryManager(self)
-        #: opt-in compiled execution: fused pipeline closures with a
-        #: system-wide materialized-expression table (cross-plan CSE)
+        #: compiled execution (the default): fused pipeline closures with a
+        #: system-wide materialized-expression table (cross-plan CSE);
+        #: ``execution_mode="interpreted"`` pins the per-operator reference
+        #: path (golden-trace-pinned)
         self.execution_mode = execution_mode
         if execution_mode == "compiled":
             self.materialized: MaterializedTable | None = MaterializedTable()
             self.compile_cache: CompiledPlanCache | None = CompiledPlanCache()
             self.compile_stats: CompileStats | None = CompileStats()
             self.compiler: PlanCompiler | None = PlanCompiler(
-                self.materialized, self.compile_cache, self.compile_stats
+                self.materialized,
+                self.compile_cache,
+                self.compile_stats,
+                registry_for=self._service_registry_for,
             )
         else:
             self.materialized = None
@@ -210,6 +215,17 @@ class P2PMSystem:
 
     def has_peer(self, peer_id: str) -> bool:
         return peer_id in self._peers
+
+    def _service_registry_for(self, peer_id: str) -> "ServiceRegistry | None":
+        """Current service registry of ``peer_id`` (None once the peer left).
+
+        Handed to the plan compiler as the tree-pattern stages' lazy
+        resolver: compiled programs live in the plan cache across peer
+        departures and rejoins, so the registry must be looked up per item,
+        never captured at compile time.
+        """
+        peer = self._peers.get(peer_id)
+        return peer.service_registry if peer is not None else None
 
     @property
     def peer_ids(self) -> list[str]:
@@ -429,8 +445,22 @@ class P2PMSystem:
             f"plan cache: {cache['programs']} programs, "
             f"{cache['hits']} hits / {cache['misses']} misses"
         )
+        invocations = snapshot["stage_invocations"]
+        lines.append(
+            f"stage invocations: {invocations['batch']} batch "
+            f"({invocations['batch_items']} items) / {invocations['item']} per-item"
+        )
+        for kind, count in snapshot["consumers_fused"].items():
+            lines.append(f"consumer fused {kind}: x{count}")
+        # fallback reasons arrive sorted from the snapshot; the seen-set
+        # guards against duplicates so the report is deterministic even if a
+        # future recorder double-counts a (kind, reason) pair
+        seen_fallbacks: set[tuple[str, str]] = set()
         for kind, reasons in snapshot["fallbacks"].items():
             for reason, count in sorted(reasons.items()):
+                if (kind, reason) in seen_fallbacks:
+                    continue
+                seen_fallbacks.add((kind, reason))
                 lines.append(f"fallback {kind}: {reason} x{count}")
         for pipeline in self.compiled_pipelines():
             info = pipeline.describe()

@@ -13,15 +13,23 @@ invisible*:
 * plan-copy and reuse interactions can never serve a stale fused closure.
 """
 
+import random
+
 import pytest
 
-from repro.algebra.plan import FILTER, RESTRUCTURE
+from repro.algebra.plan import ALERTER, FILTER, GROUP, RESTRUCTURE, PlanNode
 from repro.compile import CompiledPipeline, CompiledStage, MaterializedTable
+from repro.filtering.conditions import FilterSubscription, SimpleCondition
+from repro.filtering.yfilter import compile_tree_predicate
 from repro.monitor import P2PMSystem
+from repro.monitor.deployment import Deployer
 from repro.scenarios import make_scenario, scenario_names
 from repro.workloads import EdosNetwork, MeteoScenario
 from repro.workloads.chaos_feed import CHAOS_FUNCTION
+from repro.workloads.soap_traffic import SoapCall
+from repro.xmlmodel import XPath
 from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.tree import Element
 
 #: The golden traces pinned by test_e2e_fastpath (oracle failure mode).
 #: Compiled mode must reproduce them byte for byte -- duplicated here on
@@ -47,6 +55,24 @@ class TestCatalogDifferential:
     def test_compiled_trace_matches_interpreted(self, name: str):
         interpreted = make_scenario(name, seed=0).run()
         compiled = make_scenario(name, seed=0, execution_mode="compiled").run()
+        assert compiled.ok, [inv for inv in compiled.invariants if not inv.ok]
+        assert compiled.received == interpreted.received
+        assert compiled.fingerprint == interpreted.fingerprint
+
+    @pytest.mark.parametrize(
+        "name,seed",
+        [
+            ("worker-crash", 7),
+            ("worker-crash", 42),
+            ("lossy-network", 7),
+            ("lossy-network", 42),
+        ],
+    )
+    def test_chaos_scenarios_match_across_extra_seeds(self, name: str, seed: int):
+        # the catalog sweep above pins seed 0; probe-side fusion must also
+        # hold when crash recovery / message loss reshuffle delivery orders
+        interpreted = make_scenario(name, seed=seed).run()
+        compiled = make_scenario(name, seed=seed, execution_mode="compiled").run()
         assert compiled.ok, [inv for inv in compiled.invariants if not inv.ok]
         assert compiled.received == interpreted.received
         assert compiled.fingerprint == interpreted.fingerprint
@@ -260,3 +286,241 @@ class TestCopySafety:
                     assert stage.table is system.materialized
                     tables.add(id(stage.table))
         assert len(tables) == 2
+
+
+def _soap_alert_items(n: int, seed: int = 5) -> list[Element]:
+    """Soap-style alerts with children: the tree-pattern differential corpus."""
+    from repro.alerters.ws import soap_alert
+
+    rng = random.Random(seed)
+    methods = ["GetTemperature", "GetHumidity", "Invoice"]
+    items = []
+    for index in range(n):
+        call = SoapCall(
+            call_id=f"c{index}",
+            caller=rng.choice(["solo", "client.net"]),
+            callee=rng.choice(["meteo.com", "tele.com"]),
+            method=rng.choice(methods),
+            call_timestamp=float(index),
+            response_timestamp=float(index) + rng.random(),
+            status="fault" if rng.random() < 0.4 else "ok",
+            parameters={"k": str(index)} if rng.random() < 0.7 else {},
+        )
+        items.append(soap_alert(call, "out"))
+    return items
+
+
+class TestTreePatternFusion:
+    TREE_PATHS = [
+        "//Body",
+        "//error",
+        "//Envelope/Body",
+        "//Body//param",
+        "/alert/Envelope",
+        "/alert/error",
+    ]
+
+    def test_compiled_tree_predicate_matches_extensional_oracle(self):
+        rng = random.Random(3)
+        items = _soap_alert_items(60)
+        methods = ["GetTemperature", "GetHumidity", "Invoice"]
+        for index in range(40):
+            simple = [SimpleCondition("callMethod", "=", rng.choice(methods))]
+            if rng.random() < 0.5:
+                simple.append(SimpleCondition("status", "=", "fault"))
+            queries = [XPath.compile(rng.choice(self.TREE_PATHS))]
+            if rng.random() < 0.4:
+                queries.append(XPath.compile(rng.choice(self.TREE_PATHS)))
+            subscription = FilterSubscription(f"t{index}", simple, queries)
+            predicate = compile_tree_predicate(subscription)
+            for item in items:
+                assert predicate(item) == subscription.matches_extensionally(item), (
+                    f"{subscription.sub_id}: fused tree predicate diverges from "
+                    f"the extensional oracle on {to_xml(item)[:120]}"
+                )
+
+    def _run_tree_subscription(self, mode: str):
+        system = P2PMSystem(seed=1, execution_mode=mode)
+        peer = system.add_peer("solo")
+        text = (
+            'for $c in outCOM(<p>solo</p>) '
+            'where $c.callMethod = "Invoice" and $c/alert/Envelope/Body '
+            "and $c/alert/error "
+            "return <bad><callee>{$c.callee}</callee></bad>"
+        )
+        got: list[str] = []
+        handle = peer.subscribe(text, sub_id="tp0")
+        handle.on_result(lambda item: got.append(to_xml(item)))
+        system.run()
+        alerter = peer.alerter("outCOM")
+        for index in range(12):
+            alerter.observe_call(
+                SoapCall(
+                    call_id=f"c{index}",
+                    caller="solo",
+                    callee="tele.com",
+                    method="Invoice" if index % 2 == 0 else "GetTemperature",
+                    call_timestamp=float(index),
+                    response_timestamp=float(index) + 0.5,
+                    status="fault" if index % 3 == 0 else "ok",
+                    parameters={"k": str(index)},
+                )
+            )
+        system.run()
+        return system, handle, got
+
+    def test_tree_pattern_subscription_fuses_and_matches_interpreted(self):
+        _, _, interpreted = self._run_tree_subscription("interpreted")
+        system, handle, compiled = self._run_tree_subscription("compiled")
+        assert compiled and compiled == interpreted
+        # the complex-query FILTER must now fuse: one pipeline, no FILTER
+        # fallback, and the tree-pattern expressions in the stage signature
+        pipelines = system.compiled_pipelines()
+        assert len(pipelines) == 1
+        assert [stage.kind for stage in pipelines[0].stages] == [FILTER, RESTRUCTURE]
+        assert "$c/alert/Envelope/Body" in pipelines[0].stages[0].signature
+        stats = handle.stats()["compile"]
+        assert stats["fallbacks"].get(FILTER) is None
+        assert stats["segments_fused"] == 1
+
+
+class TestStatefulConsumerFusion:
+    JOIN_TEXT = (
+        f'for $x in {CHAOS_FUNCTION}(<p>solo</p>), '
+        f'$y in {CHAOS_FUNCTION}(<p>solo</p>) '
+        'where $x.kind = "chaos" and $x.n >= 2 and $x.n = $y.n '
+        "return <pair><n>{$x.n}</n><m>{$y.n}</m></pair>"
+    )
+
+    def _run_join(self, mode: str, batch: bool):
+        system = P2PMSystem(seed=1, execution_mode=mode)
+        peer = system.add_peer("solo")
+        got: list[str] = []
+        handle = peer.subscribe(self.JOIN_TEXT, sub_id="j0")
+        handle.on_result(lambda item: got.append(to_xml(item)))
+        system.run()
+        alerter = peer.alerter(CHAOS_FUNCTION)
+        if batch:
+            alerter.output.emit_many(
+                [
+                    Element("alert", {"kind": "chaos", "source": "solo", "n": str(n)})
+                    for n in range(8)
+                ]
+            )
+        else:
+            for n in range(8):
+                alerter.emit_numbered(n)
+        system.run()
+        return system, handle, got
+
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_join_probe_fusion_matches_interpreted(self, batch: bool):
+        _, _, interpreted = self._run_join("interpreted", batch)
+        system, handle, compiled = self._run_join("compiled", batch)
+        assert compiled and compiled == interpreted
+        stats = handle.stats()["compile"]
+        assert stats["consumers_fused"].get("join", 0) >= 1
+
+    def _run_group(self, mode: str):
+        # GROUP has no P2PML surface syntax: deploy a programmatic plan
+        # through the same Deployer the manager uses
+        system = P2PMSystem(seed=1, execution_mode=mode)
+        peer = system.add_peer("solo")
+        subscription = FilterSubscription(
+            "g0", [SimpleCondition("kind", "=", "chaos")], []
+        )
+        plan = PlanNode(
+            GROUP,
+            {"key": "n", "every": 4, "var": "x"},
+            [
+                PlanNode(
+                    FILTER,
+                    {"subscription": subscription, "var": "x"},
+                    [
+                        PlanNode(
+                            ALERTER,
+                            {"alerter": CHAOS_FUNCTION},
+                            [],
+                            placement="solo",
+                        )
+                    ],
+                    placement="solo",
+                )
+            ],
+            placement="solo",
+        )
+        deployer = Deployer(system, publish_replicas=system.publish_replicas)
+        task = deployer.deploy(plan, "g0", manager_peer="solo")
+        got: list[str] = []
+        task.delivery.subscribe(lambda item: got.append(to_xml(item)))
+        system.run()
+        alerter = peer.alerter(CHAOS_FUNCTION)
+        for n in range(10):
+            alerter.emit_numbered(n % 3)
+        system.run()
+        return system, got
+
+    def test_group_probe_fusion_matches_interpreted(self):
+        _, interpreted = self._run_group("interpreted")
+        system, compiled = self._run_group("compiled")
+        assert compiled and compiled == interpreted
+        snapshot = system.compiler.stats.snapshot()
+        assert snapshot["consumers_fused"].get("group", 0) >= 1
+        pipelines = system.compiled_pipelines()
+        assert any(
+            pipeline.describe()["consumer_fused"] == "Group"
+            for pipeline in pipelines
+        )
+
+
+class TestCompileStats:
+    def test_stage_invocation_counters_split_batch_and_item(self):
+        system = P2PMSystem(seed=1, execution_mode="compiled")
+        peer = system.add_peer("solo")
+        got: list[str] = []
+        handle = peer.subscribe(
+            f'for $x in {CHAOS_FUNCTION}(<p>solo</p>) '
+            'where $x.kind = "chaos" return <seen><n>{$x.n}</n></seen>',
+            sub_id="q0",
+        )
+        handle.on_result(lambda item: got.append(to_xml(item)))
+        system.run()
+        alerter = peer.alerter(CHAOS_FUNCTION)
+        alerter.emit_numbered(0)
+        alerter.output.emit_many(
+            [
+                Element("alert", {"kind": "chaos", "source": "solo", "n": str(n)})
+                for n in range(1, 6)
+            ]
+        )
+        system.run()
+        assert len(got) == 6
+        invocations = handle.stats()["compile"]["stage_invocations"]
+        assert invocations["batch"] >= 2  # both fused stages saw the burst
+        assert invocations["batch_items"] >= 10
+        assert invocations["item"] >= 2  # the single emit ran per-item
+
+    def test_report_fallback_lines_sorted_and_unique(self):
+        system = P2PMSystem(seed=1, execution_mode="compiled")
+        peer = system.add_peer("solo")
+        for index in range(3):
+            peer.subscribe(
+                f'for $x in {CHAOS_FUNCTION}(<p>solo</p>) '
+                'where $x.kind = "chaos" return <seen><n>{$x.n}</n></seen> '
+                f'by publish as channel "chan{index}";',
+                sub_id=f"q{index}",
+            )
+        system.run()
+        snapshot = system.compiler.stats.snapshot()
+        kinds = list(snapshot["fallbacks"])
+        assert kinds == sorted(kinds)
+        for reasons in snapshot["fallbacks"].values():
+            assert list(reasons) == sorted(reasons)
+        report = system.compile_report()
+        fallback_lines = [
+            line for line in report.splitlines() if line.startswith("fallback ")
+        ]
+        assert fallback_lines == sorted(fallback_lines)
+        assert len(fallback_lines) == len(set(fallback_lines))
+        # the three identical publish fallbacks aggregate into one line
+        assert "fallback publish: delivery-root x3" in report
